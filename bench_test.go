@@ -1,0 +1,233 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§10) plus Figure 3 and the DESIGN.md ablations. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark iteration executes a complete experiment, prints the
+// measured series, and reports the headline quantity as a custom
+// metric. EXPERIMENTS.md records a reference run against the paper's
+// numbers.
+package algorand_test
+
+import (
+	"testing"
+
+	"algorand/internal/experiments"
+)
+
+func scale() experiments.Scale { return experiments.DefaultScale() }
+
+// BenchmarkFigure3CommitteeSize regenerates the §7.5 committee-size
+// curve (Figure 3): minimal τ for violation ≤ 5·10⁻⁹ as the honest
+// fraction varies. Paper: τ=2000 at h=80% with T=0.685.
+func BenchmarkFigure3CommitteeSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Figure3(experiments.DefaultFigure3Fractions())
+		for _, p := range pts {
+			b.Logf("h=%.2f tau=%d T=%.3f", p.HonestFraction, p.Tau, p.Threshold)
+		}
+		for _, p := range pts {
+			if p.HonestFraction == 0.80 {
+				b.ReportMetric(float64(p.Tau), "tau@h=0.8")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure5LatencyVsUsers regenerates Figure 5: round latency as
+// the number of users grows. Paper: ≈22s median, near-constant from
+// 5,000 to 50,000 users.
+func BenchmarkFigure5LatencyVsUsers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Figure5(scale(), experiments.DefaultFigure5Users())
+		for _, p := range pts {
+			b.Logf("users=%d latency: %v final=%.2f empty=%.2f",
+				p.Users, p.Latency, p.FinalRate, p.EmptyRate)
+		}
+		b.ReportMetric(pts[len(pts)-1].Latency.Median.Seconds(), "s/round@max-users")
+	}
+}
+
+// BenchmarkFigure6SharedVM regenerates Figure 6: the same sweep with
+// many users sharing one VM NIC. Paper: ~4× the latency of Figure 5,
+// still flat in the number of users.
+func BenchmarkFigure6SharedVM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Figure6(scale(), experiments.DefaultFigure5Users(), 10)
+		for _, p := range pts {
+			b.Logf("users=%d latency: %v", p.Users, p.Latency)
+		}
+		b.ReportMetric(pts[len(pts)-1].Latency.Median.Seconds(), "s/round@max-users")
+	}
+}
+
+// BenchmarkFigure7BlockSize regenerates Figure 7: the round's phase
+// breakdown as block size grows. Paper: proposal time grows with size;
+// BA⋆ stays ≈12s; final step ≈6s.
+func BenchmarkFigure7BlockSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Figure7(scale(), experiments.DefaultFigure7Sizes())
+		for _, p := range pts {
+			b.Logf("size=%dKB proposal=%v ba=%v final=%v total=%v",
+				p.BlockSize>>10,
+				p.Phases.BlockProposal.Median,
+				p.Phases.BAWithoutFinal.Median,
+				p.Phases.FinalStep.Median,
+				p.Phases.RoundCompletion.Median)
+		}
+		last := pts[len(pts)-1]
+		b.ReportMetric(last.Phases.BAWithoutFinal.Median.Seconds(), "ba-s@max-size")
+	}
+}
+
+// BenchmarkFigure8Malicious regenerates Figure 8: round latency under
+// the §10.4 equivocation attack as the malicious fraction grows.
+// Paper: latency is "not significantly affected" up to 20%.
+func BenchmarkFigure8Malicious(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Figure8(scale(), experiments.DefaultFigure8Fractions())
+		for _, p := range pts {
+			b.Logf("malicious=%d%% latency: %v empty=%.2f final=%.2f",
+				p.Users, p.Latency, p.EmptyRate, p.FinalRate)
+		}
+		b.ReportMetric(pts[len(pts)-1].Latency.Median.Seconds(), "s/round@20pct")
+	}
+}
+
+// BenchmarkThroughputVsBitcoin regenerates the §10.2 comparison.
+// Paper: 327 MB/h at 2 MB blocks; 750 MB/h at 10 MB ≈ 125× Bitcoin's
+// 6 MB/h.
+func BenchmarkThroughputVsBitcoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ThroughputVsBitcoin(scale(), []int{1 << 20, 2 << 20, 4 << 20})
+		var algo, btc float64
+		for _, r := range rows {
+			b.Logf("%s blocksize=%dKB throughput=%.1f MB/h confirmation=%v",
+				r.System, r.BlockSize>>10, r.MBytesPerHour, r.ConfLatencyMedian)
+			if r.System == "algorand" && r.MBytesPerHour > algo {
+				algo = r.MBytesPerHour
+			}
+			if r.System == "bitcoin" {
+				btc = r.MBytesPerHour
+			}
+		}
+		b.ReportMetric(algo/btc, "x-bitcoin")
+	}
+}
+
+// BenchmarkCostsCPU measures the real cryptographic operations that
+// dominate Algorand's CPU cost (§10.3: "most of it for verifying
+// signatures and VRFs"). See also the per-package crypto benchmarks.
+func BenchmarkCostsCPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Costs(scale())
+		b.Logf("CPU fraction=%.3f of a core/user (paper ~0.065)", rep.CPUCoreFraction)
+		b.ReportMetric(rep.CPUCoreFraction, "core-frac/user")
+	}
+}
+
+// BenchmarkCostsBandwidthStorage measures per-user bandwidth and the
+// §8.3 storage costs. Paper: ~10 Mbit/s per user at 1 MB blocks;
+// certificates ~300 KB; 10-way sharding → ~130 KB/user/block.
+func BenchmarkCostsBandwidthStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Costs(scale())
+		b.Logf("bandwidth=%.2f Mbit/s/user cert=%.0f KB sharded-storage=%.0f KB/user/block",
+			rep.BandwidthMbps, rep.CertificateKB, rep.StorageKBPerBlockSharded)
+		b.ReportMetric(rep.CertificateKB, "cert-KB")
+		b.ReportMetric(rep.BandwidthMbps, "Mbps/user")
+	}
+}
+
+// BenchmarkTimeoutValidation regenerates §10.5: measured step times vs
+// the λ parameters of Figure 4.
+func BenchmarkTimeoutValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.TimeoutValidation(scale())
+		b.Logf("step times: %v (λ_step=20s)", rep.StepTimes)
+		b.Logf("completion spread p75-p25: %v (λ_stepvar=5s)", rep.StepSpread)
+		b.Logf("priority propagation: %v (λ_priority=5s)", rep.PriorityPropagation)
+		b.Logf("timeout fraction: %.3f", rep.TimeoutFraction)
+		b.ReportMetric(rep.StepTimes.Median.Seconds(), "step-s")
+	}
+}
+
+// BenchmarkBAStarStepCount measures the §4/§7 efficiency claim: with an
+// honest highest-priority proposer BA⋆ concludes in one binary step
+// ("4 interactive steps" with the reductions and final confirmation).
+func BenchmarkBAStarStepCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		honest := experiments.StepCounts(scale(), 0)
+		attacked := experiments.StepCounts(scale(), 0.2)
+		b.Logf("honest: steps=%v final-rate=%.2f", honest.Histogram, honest.FinalRate)
+		b.Logf("20%% malicious: steps=%v final-rate=%.2f", attacked.Histogram, attacked.FinalRate)
+		b.ReportMetric(honest.FinalRate, "final-rate")
+	}
+}
+
+// --- Ablations (DESIGN.md "design choices worth ablating") -----------------
+
+// BenchmarkAblationPriorityGossip disables the §6 priority pre-gossip.
+func BenchmarkAblationPriorityGossip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblatePriorityGossip(scale())
+		b.Logf("baseline:  %v", res.Baseline.Latency)
+		b.Logf("ablated:   %v (bytes ×%.2f)", res.Ablated.Latency, res.ExtraBytesFraction)
+		b.ReportMetric(res.ExtraBytesFraction, "bytes-ratio")
+	}
+}
+
+// BenchmarkAblationVoteNext3 disables Algorithm 8's vote-in-next-3.
+func BenchmarkAblationVoteNext3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblateVoteNext3(scale())
+		b.Logf("baseline: %v empty=%.2f", res.Baseline.Latency, res.Baseline.EmptyRate)
+		b.Logf("ablated:  %v empty=%.2f", res.Ablated.Latency, res.Ablated.EmptyRate)
+		b.ReportMetric(res.Ablated.Latency.Median.Seconds(), "s/round")
+	}
+}
+
+// BenchmarkAblationEquivocationDiscard compares §10.4's discard-both
+// against keep-first under the equivocation attack.
+func BenchmarkAblationEquivocationDiscard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblateEquivocationDiscard(scale())
+		b.Logf("discard-both: %v empty=%.2f", res.Baseline.Latency, res.Baseline.EmptyRate)
+		b.Logf("keep-first:   %v empty=%.2f", res.Ablated.Latency, res.Ablated.EmptyRate)
+		b.ReportMetric(res.Baseline.Latency.Median.Seconds(), "s/round")
+	}
+}
+
+// BenchmarkAblationCommonCoin runs the §7.4 vote-splitting adversary
+// against BinaryBA⋆ with and without Algorithm 9's common coin.
+func BenchmarkAblationCommonCoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunCoinAblation(6, 42)
+		b.Log(res.Summary())
+		b.ReportMetric(float64(res.StuckWithout), "stuck-without-coin")
+		b.ReportMetric(float64(res.StuckWith), "stuck-with-coin")
+	}
+}
+
+// BenchmarkPipelineFinalStep measures the §10.2 pipelining optimization
+// (final step overlapped with the next round), which the paper
+// describes but leaves unimplemented in its prototype.
+func BenchmarkPipelineFinalStep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.PipelineThroughput(scale())
+		b.Logf("baseline %v/round (final %.2f) → pipelined %v/round (final %.2f)",
+			res.BaselineRoundTime, res.BaselineFinalRate,
+			res.PipelinedRoundTime, res.PipelinedFinalRate)
+		b.ReportMetric(res.Speedup, "x-speedup")
+	}
+}
+
+// BenchmarkFullRoundEndToEnd is a plain end-to-end throughput bench of
+// the simulator itself (not a paper figure): one complete round of a
+// 100-user network per iteration.
+func BenchmarkFullRoundEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Figure5(experiments.Scale{Users: 1, Rounds: 1}, []int{100})
+		_ = pts
+	}
+}

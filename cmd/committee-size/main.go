@@ -1,0 +1,35 @@
+// committee-size computes the §7.5 committee-sizing curve (Figure 3):
+// the minimal expected committee size τ, and the threshold T to use
+// with it, such that the probability of a committee violating BA⋆'s
+// constraints stays below a target.
+//
+// Usage:
+//
+//	committee-size -from 0.76 -to 0.90 -step 0.02 -target 5e-9
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"algorand"
+)
+
+func main() {
+	var (
+		from   = flag.Float64("from", 0.76, "lowest honest fraction h")
+		to     = flag.Float64("to", 0.90, "highest honest fraction h")
+		step   = flag.Float64("step", 0.02, "h increment")
+		target = flag.Float64("target", 5e-9, "violation probability bound")
+	)
+	flag.Parse()
+
+	fmt.Printf("%-10s %-8s %-10s %-14s\n", "honest(h)", "tau", "T", "P[violation]")
+	for h := *from; h <= *to+1e-9; h += *step {
+		tau, T := algorand.MinCommitteeSize(h, *target)
+		v := algorand.CommitteeViolationProb(float64(tau), h, T)
+		fmt.Printf("%-10.2f %-8d %-10.3f %-14.2e\n", h, tau, T, v)
+	}
+	fmt.Printf("\npaper's operating point: h=0.80, tau=2000, T=0.685 → P = %.2e\n",
+		algorand.CommitteeViolationProb(2000, 0.80, 0.685))
+}

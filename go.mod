@@ -1,0 +1,3 @@
+module algorand
+
+go 1.22

@@ -1,0 +1,197 @@
+// Package baseline simulates Nakamoto (proof-of-work) consensus — the
+// Bitcoin-style protocol Algorand's evaluation compares against (§2,
+// §10.2). It models exponential block arrivals, propagation-induced
+// stale blocks, the longest-chain rule, and k-confirmation latency, so
+// the repository can regenerate the paper's "125× Bitcoin's throughput"
+// comparison from first principles instead of quoting constants.
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Config describes a proof-of-work network.
+type Config struct {
+	// Miners is the number of mining pools; hash power is split evenly.
+	Miners int
+	// BlockInterval is the expected time between blocks (Bitcoin: 10m).
+	BlockInterval time.Duration
+	// BlockSize in bytes (Bitcoin: 1 MB).
+	BlockSize int
+	// PropagationDelay is how long a block takes to reach the other
+	// miners (≈10s for 1MB per Decker & Wattenhofer [18]).
+	PropagationDelay time.Duration
+	// Confirmations required before a transaction is accepted (6 in
+	// Bitcoin's standard recommendation [7]).
+	Confirmations int
+	// Seed for the simulation's randomness.
+	Seed int64
+}
+
+// Bitcoin returns the standard Bitcoin parameters.
+func Bitcoin() Config {
+	return Config{
+		Miners:           16,
+		BlockInterval:    10 * time.Minute,
+		BlockSize:        1 << 20,
+		PropagationDelay: 10 * time.Second,
+		Confirmations:    6,
+		Seed:             1,
+	}
+}
+
+// Result summarizes a simulated run.
+type Result struct {
+	// Duration of simulated time.
+	Duration time.Duration
+	// MainChainBlocks is the length of the final longest chain.
+	MainChainBlocks int
+	// StaleBlocks were mined but ended up off the main chain (forks).
+	StaleBlocks int
+	// ThroughputBytesPerHour of payload committed to the main chain.
+	ThroughputBytesPerHour float64
+	// ConfirmationLatency percentiles: time from a transaction entering
+	// a block until that block has Confirmations successors.
+	ConfLatencyMedian time.Duration
+	ConfLatencyP90    time.Duration
+}
+
+// block is one mined block.
+type block struct {
+	id      int
+	parent  int
+	height  int
+	minedAt time.Duration
+	byMiner int
+	// confirmedAt is when the block's k-th successor appeared (computed
+	// after the run).
+	confirmedAt time.Duration
+}
+
+// Run simulates PoW mining for the given duration.
+//
+// Model: block discovery is a Poisson process with rate 1/BlockInterval
+// shared across miners. Each miner mines on the tip it currently knows;
+// a newly found block reaches other miners PropagationDelay later, so a
+// competing block found within that window forks the chain. Ties are
+// broken by first arrival (longest chain, first-seen rule).
+func Run(cfg Config, duration time.Duration) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Miners <= 0 {
+		cfg.Miners = 1
+	}
+
+	blocks := []block{{id: 0, parent: -1, height: 0}}
+	// view[m] = id of the tip miner m mines on; updates propagate late.
+	view := make([]int, cfg.Miners)
+
+	type arrival struct {
+		at    time.Duration
+		blk   int
+		miner int
+	}
+	var pending []arrival
+
+	now := time.Duration(0)
+	for now < duration {
+		// Next block found anywhere: exponential with the global rate.
+		wait := time.Duration(rng.ExpFloat64() * float64(cfg.BlockInterval))
+		now += wait
+		miner := rng.Intn(cfg.Miners)
+
+		// Deliver queued arrivals up to now.
+		sort.Slice(pending, func(i, j int) bool { return pending[i].at < pending[j].at })
+		keep := pending[:0]
+		for _, a := range pending {
+			if a.at <= now {
+				if blocks[a.blk].height > blocks[view[a.miner]].height {
+					view[a.miner] = a.blk
+				}
+			} else {
+				keep = append(keep, a)
+			}
+		}
+		pending = keep
+
+		// The miner extends its current view.
+		parent := view[miner]
+		nb := block{
+			id:      len(blocks),
+			parent:  parent,
+			height:  blocks[parent].height + 1,
+			minedAt: now,
+			byMiner: miner,
+		}
+		blocks = append(blocks, nb)
+		view[miner] = nb.id
+		for m := 0; m < cfg.Miners; m++ {
+			if m == miner {
+				continue
+			}
+			pending = append(pending, arrival{at: now + cfg.PropagationDelay, blk: nb.id, miner: m})
+		}
+	}
+
+	// Find the longest chain.
+	best := 0
+	for i := range blocks {
+		if blocks[i].height > blocks[best].height {
+			best = i
+		}
+	}
+	onMain := make(map[int]bool)
+	mainBlocks := make([]int, 0, blocks[best].height)
+	for b := best; b != -1; b = blocks[b].parent {
+		onMain[b] = true
+		mainBlocks = append(mainBlocks, b)
+	}
+	// mainBlocks is tip-first; reverse to genesis-first.
+	for i, j := 0, len(mainBlocks)-1; i < j; i, j = i+1, j-1 {
+		mainBlocks[i], mainBlocks[j] = mainBlocks[j], mainBlocks[i]
+	}
+
+	stale := len(blocks) - len(mainBlocks)
+
+	// Confirmation latency: for each main-chain block b at index i, a
+	// transaction in b is confirmed when block i+Confirmations appears.
+	var lat []time.Duration
+	for i := 1; i+cfg.Confirmations < len(mainBlocks); i++ {
+		b := mainBlocks[i]
+		conf := mainBlocks[i+cfg.Confirmations]
+		lat = append(lat, blocks[conf].minedAt-blocks[b].minedAt)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var med, p90 time.Duration
+	if len(lat) > 0 {
+		med = lat[len(lat)/2]
+		p90 = lat[int(0.9*float64(len(lat)-1))]
+	}
+
+	committed := float64((len(mainBlocks) - 1) * cfg.BlockSize)
+	hours := duration.Hours()
+
+	return Result{
+		Duration:               duration,
+		MainChainBlocks:        len(mainBlocks) - 1,
+		StaleBlocks:            stale,
+		ThroughputBytesPerHour: committed / hours,
+		ConfLatencyMedian:      med,
+		ConfLatencyP90:         p90,
+	}
+}
+
+// ExpectedThroughputBytesPerHour is the analytic throughput ignoring
+// stale blocks: BlockSize per BlockInterval.
+func ExpectedThroughputBytesPerHour(cfg Config) float64 {
+	blocksPerHour := float64(time.Hour) / float64(cfg.BlockInterval)
+	return blocksPerHour * float64(cfg.BlockSize)
+}
+
+// StaleRateAnalytic approximates the stale-block fraction 1-e^(-Δ/T)
+// for propagation delay Δ and block interval T.
+func StaleRateAnalytic(cfg Config) float64 {
+	return 1 - math.Exp(-cfg.PropagationDelay.Seconds()/cfg.BlockInterval.Seconds())
+}

@@ -1,0 +1,92 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBitcoinThroughputAndLatency(t *testing.T) {
+	cfg := Bitcoin()
+	res := Run(cfg, 30*24*time.Hour)
+
+	// ~6 blocks/hour → ~6 MB/hour committed (the §10.2 comparison point).
+	mbPerHour := res.ThroughputBytesPerHour / (1 << 20)
+	if mbPerHour < 4.5 || mbPerHour > 7.5 {
+		t.Fatalf("throughput %.2f MB/h, expected ≈6", mbPerHour)
+	}
+
+	// 6-confirmation latency ≈ 1 hour median.
+	if res.ConfLatencyMedian < 30*time.Minute || res.ConfLatencyMedian > 2*time.Hour {
+		t.Fatalf("median confirmation latency %v, expected ≈1h", res.ConfLatencyMedian)
+	}
+
+	// Stale rate should be small but nonzero over a month.
+	if res.StaleBlocks == 0 {
+		t.Log("no stale blocks in this run (possible but unusual over 30 days)")
+	}
+	total := res.MainChainBlocks + res.StaleBlocks
+	staleRate := float64(res.StaleBlocks) / float64(total)
+	if staleRate > 0.10 {
+		t.Fatalf("stale rate %.3f too high for 10s/10min", staleRate)
+	}
+}
+
+func TestStaleRateGrowsWithPropagationDelay(t *testing.T) {
+	slow := Bitcoin()
+	slow.PropagationDelay = 2 * time.Minute
+	slow.Seed = 7
+	fast := Bitcoin()
+	fast.PropagationDelay = time.Second
+	fast.Seed = 7
+
+	dur := 60 * 24 * time.Hour
+	rSlow := Run(slow, dur)
+	rFast := Run(fast, dur)
+	slowRate := float64(rSlow.StaleBlocks) / float64(rSlow.MainChainBlocks+rSlow.StaleBlocks)
+	fastRate := float64(rFast.StaleBlocks) / float64(rFast.MainChainBlocks+rFast.StaleBlocks)
+	if slowRate <= fastRate {
+		t.Fatalf("stale rate should grow with delay: slow %.4f fast %.4f", slowRate, fastRate)
+	}
+	// And roughly track the analytic approximation.
+	want := StaleRateAnalytic(slow)
+	if math.Abs(slowRate-want) > 0.1 {
+		t.Fatalf("slow stale rate %.4f vs analytic %.4f", slowRate, want)
+	}
+}
+
+func TestAnalyticHelpers(t *testing.T) {
+	cfg := Bitcoin()
+	if got := ExpectedThroughputBytesPerHour(cfg); math.Abs(got-6*(1<<20)) > 1 {
+		t.Fatalf("expected throughput %v", got)
+	}
+	if r := StaleRateAnalytic(cfg); r < 0.01 || r > 0.03 {
+		t.Fatalf("analytic stale rate %v", r)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := Run(Bitcoin(), 24*time.Hour)
+	b := Run(Bitcoin(), 24*time.Hour)
+	if a != b {
+		t.Fatal("same seed produced different results")
+	}
+	c := Bitcoin()
+	c.Seed = 2
+	if Run(c, 24*time.Hour) == a {
+		t.Fatal("different seed produced identical results")
+	}
+}
+
+func TestShortRunDoesNotPanic(t *testing.T) {
+	res := Run(Bitcoin(), time.Minute)
+	if res.MainChainBlocks < 0 {
+		t.Fatal("negative blocks")
+	}
+}
+
+func BenchmarkRunMonth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Run(Bitcoin(), 30*24*time.Hour)
+	}
+}

@@ -1,0 +1,241 @@
+package binomial
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refCDF computes the binomial CDF with big.Rat exactly (slow, for
+// cross-checking).
+func refCDF(k, n uint64, pNum, pDen uint64) *big.Rat {
+	p := new(big.Rat).SetFrac64(int64(pNum), int64(pDen))
+	q := new(big.Rat).Sub(big.NewRat(1, 1), p)
+	sum := new(big.Rat)
+	term := new(big.Rat).SetInt64(1)
+	// term = C(n,i) p^i q^(n-i); start with q^n.
+	for i := uint64(0); i < n; i++ {
+		term.Mul(term, q)
+	}
+	ratio := new(big.Rat).Quo(p, q)
+	for i := uint64(0); ; i++ {
+		sum.Add(sum, term)
+		if i >= k {
+			break
+		}
+		// term *= (n-i)/(i+1) * p/q
+		term.Mul(term, new(big.Rat).SetFrac64(int64(n-i), int64(i+1)))
+		term.Mul(term, ratio)
+	}
+	return sum
+}
+
+func TestCDFAgainstExactRational(t *testing.T) {
+	cases := []struct{ n, pNum, pDen uint64 }{
+		{10, 1, 2},
+		{100, 26, 1000},
+		{1000, 2, 100},
+		{50, 1, 50},
+		{7, 3, 7},
+	}
+	for _, c := range cases {
+		for k := uint64(0); k <= c.n && k <= 20; k++ {
+			w := New(c.n, c.pNum, c.pDen)
+			got := w.CDF(k)
+			want := refCDF(k, c.n, c.pNum, c.pDen)
+			wantF := new(big.Float).SetPrec(Prec).SetRat(want)
+			diff := new(big.Float).Sub(got, wantF)
+			diff.Abs(diff)
+			eps := new(big.Float).SetMantExp(big.NewFloat(1), -500)
+			if diff.Cmp(eps) > 0 {
+				t.Fatalf("CDF(%d; n=%d, p=%d/%d) error too large: %v",
+					k, c.n, c.pNum, c.pDen, diff)
+			}
+		}
+	}
+}
+
+func TestCDFReachesOne(t *testing.T) {
+	w := New(40, 1, 3)
+	c := w.CDF(40)
+	diff := new(big.Float).Sub(big.NewFloat(1), c)
+	diff.Abs(diff)
+	eps := new(big.Float).SetMantExp(big.NewFloat(1), -500)
+	if diff.Cmp(eps) > 0 {
+		t.Fatalf("CDF(n) != 1: %v", c)
+	}
+}
+
+func TestQuantileBoundaries(t *testing.T) {
+	// With n=1, p=1/2: fraction < 1/2 -> j=0... CDF(0)=1/2, so
+	// fraction in [0, 1/2) -> 0 and [1/2, 1) -> 1.
+	w := New(1, 1, 2)
+	half := big.NewFloat(0.5).SetPrec(Prec)
+	if j := w.Quantile(half); j != 1 {
+		t.Fatalf("Quantile(0.5) = %d, want 1", j)
+	}
+	w2 := New(1, 1, 2)
+	just := big.NewFloat(0.4999999).SetPrec(Prec)
+	if j := w2.Quantile(just); j != 0 {
+		t.Fatalf("Quantile(0.4999) = %d, want 0", j)
+	}
+}
+
+func TestDegenerateCases(t *testing.T) {
+	// p >= 1: all selected.
+	if j := Select([]byte{0x80}, 5, 3, 10); j > 5 {
+		t.Fatal("j > w")
+	}
+	w := New(5, 10, 10)
+	if j := w.Quantile(big.NewFloat(0.3)); j != 5 {
+		t.Fatalf("p=1 should select all, got %d", j)
+	}
+	w = New(5, 0, 10)
+	if j := w.Quantile(big.NewFloat(0.3)); j != 0 {
+		t.Fatalf("p=0 should select none, got %d", j)
+	}
+	if j := Select(nil, 0, 10, 5); j != 0 {
+		t.Fatalf("zero weight selected %d", j)
+	}
+	w = New(0, 1, 10)
+	if j := w.Quantile(big.NewFloat(0.999)); j != 0 {
+		t.Fatalf("n=0 selected %d", j)
+	}
+}
+
+func TestFractionOfHash(t *testing.T) {
+	// 0x80 00 ... = 1/2.
+	h := make([]byte, 64)
+	h[0] = 0x80
+	f := FractionOfHash(h)
+	if f.Cmp(big.NewFloat(0.5)) != 0 {
+		t.Fatalf("fraction = %v, want 0.5", f)
+	}
+	// All zero = 0.
+	if FractionOfHash(make([]byte, 64)).Sign() != 0 {
+		t.Fatal("zero hash should map to 0")
+	}
+	// All 0xff is just under 1.
+	for i := range h {
+		h[i] = 0xff
+	}
+	f = FractionOfHash(h)
+	if f.Cmp(big.NewFloat(1)) >= 0 || f.Cmp(big.NewFloat(0.999)) < 0 {
+		t.Fatalf("fraction = %v", f)
+	}
+}
+
+// TestSelectMeanProportionalToWeight verifies the core sortition
+// property: E[selected] ≈ w·τ/W.
+func TestSelectMeanProportionalToWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const W = 10000
+	const tau = 200
+	for _, w := range []uint64{1, 10, 100, 1000} {
+		trials := 3000
+		total := uint64(0)
+		for i := 0; i < trials; i++ {
+			var hash [64]byte
+			rng.Read(hash[:])
+			total += Select(hash[:], w, W, tau)
+		}
+		mean := float64(total) / float64(trials)
+		want := float64(w) * tau / W
+		sigma := math.Sqrt(want) // ~Poisson
+		if math.Abs(mean-want) > 6*sigma/math.Sqrt(float64(trials))+0.02 {
+			t.Fatalf("w=%d: mean %.3f, want %.3f", w, mean, want)
+		}
+	}
+}
+
+// TestSybilSplittingInvariance: splitting weight among pseudonyms does
+// not change the distribution of total selected sub-users (the paper's
+// key anti-Sybil argument: B(k1;n1,p)+B(k2;n2,p) = B(k1+k2;n1+n2,p)).
+// We verify means and variances match between one user of weight 100
+// and 10 users of weight 10.
+func TestSybilSplittingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const W = 10000
+	const tau = 500
+	trials := 2000
+
+	meanVar := func(split int) (float64, float64) {
+		w := uint64(100 / split)
+		var sum, sumSq float64
+		for i := 0; i < trials; i++ {
+			total := uint64(0)
+			for s := 0; s < split; s++ {
+				var hash [64]byte
+				rng.Read(hash[:])
+				total += Select(hash[:], w, W, tau)
+			}
+			f := float64(total)
+			sum += f
+			sumSq += f * f
+		}
+		mean := sum / float64(trials)
+		return mean, sumSq/float64(trials) - mean*mean
+	}
+
+	m1, v1 := meanVar(1)
+	m10, v10 := meanVar(10)
+	if math.Abs(m1-m10) > 0.5 {
+		t.Fatalf("means differ: whole=%.3f split=%.3f", m1, m10)
+	}
+	if math.Abs(v1-v10) > 1.5 {
+		t.Fatalf("variances differ: whole=%.3f split=%.3f", v1, v10)
+	}
+}
+
+// Property: Quantile is monotone in the fraction.
+func TestQuantileMonotoneQuick(t *testing.T) {
+	f := func(a, b uint64) bool {
+		fa := new(big.Float).SetPrec(Prec).Quo(
+			new(big.Float).SetUint64(a%1000),
+			new(big.Float).SetUint64(1000))
+		fb := new(big.Float).SetPrec(Prec).Quo(
+			new(big.Float).SetUint64(b%1000),
+			new(big.Float).SetUint64(1000))
+		if fa.Cmp(fb) > 0 {
+			fa, fb = fb, fa
+		}
+		ja := New(50, 1, 10).Quantile(fa)
+		jb := New(50, 1, 10).Quantile(fb)
+		return ja <= jb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: result never exceeds the weight.
+func TestSelectBoundedQuick(t *testing.T) {
+	f := func(hash [64]byte, w16 uint16) bool {
+		w := uint64(w16)
+		j := Select(hash[:], w, 100000, 2000)
+		return j <= w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSelectSmallWeight(b *testing.B) {
+	var hash [64]byte
+	hash[0] = 0x55
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Select(hash[:], 20, 1000000, 2000)
+	}
+}
+
+func BenchmarkSelectLargeWeight(b *testing.B) {
+	var hash [64]byte
+	hash[0] = 0x55
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Select(hash[:], 100000, 1000000, 2000)
+	}
+}

@@ -1,0 +1,309 @@
+// Package blockprop implements Algorand's block proposal stage (§6):
+// proposer selection by sortition with τ_proposer, priority derivation
+// from the VRF output, the two-message scheme (small priority+proof
+// gossip followed by the full block), and the waiting discipline that
+// lets every user settle on the highest-priority proposal.
+package blockprop
+
+import (
+	"encoding/binary"
+	"time"
+
+	"algorand/internal/crypto"
+	"algorand/internal/ledger"
+	"algorand/internal/sortition"
+	"algorand/internal/vtime"
+)
+
+// PriorityMsg announces a proposer's priority, proof, and the hash of
+// the proposed block (§6). At ~320 bytes it propagates quickly and lets
+// users discard lower-priority blocks without downloading them; it also
+// serves as the authenticated announcement that drives pull-based block
+// dissemination (a node fetches the block body from a peer that holds
+// it, as the inv/getdata scheme of Bitcoin's gossip, which the paper's
+// TCP prototype inherits, does).
+type PriorityMsg struct {
+	Proposer  crypto.PublicKey
+	Round     uint64
+	BlockHash crypto.Digest
+	SortHash  crypto.VRFOutput
+	SortProof []byte
+	SubUser   uint64             // winning sub-user index
+	Priority  sortition.Priority // H(SortHash || SubUser)
+	Sig       []byte
+}
+
+// PriorityMsgWireSize is the approximate serialized size; the paper
+// quotes "about 200 Bytes".
+const PriorityMsgWireSize = 32 + 8 + 32 + 64 + 80 + 8 + 32 + 64
+
+// SigningBytes returns the signed encoding. The block hash is covered,
+// so only the proposer can bind a hash to its priority — a forged
+// second hash would otherwise let an attacker frame an honest proposer
+// as an equivocator.
+func (m *PriorityMsg) SigningBytes() []byte {
+	buf := make([]byte, 0, PriorityMsgWireSize)
+	buf = append(buf, m.Proposer[:]...)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], m.Round)
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, m.BlockHash[:]...)
+	buf = append(buf, m.SortHash[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], m.SubUser)
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, m.Priority[:]...)
+	return buf
+}
+
+// BlockMsg carries a full proposed block together with its announce
+// (the proposer's signed credentials, §6). The announce's Proposer and
+// Round identify the proposal even when the block itself is an empty
+// block (as §8.2 recovery proposals are).
+type BlockMsg struct {
+	Block    *ledger.Block
+	Announce PriorityMsg
+}
+
+// Proposer returns who made this proposal.
+func (m *BlockMsg) Proposer() crypto.PublicKey { return m.Announce.Proposer }
+
+// Round returns the proposal round of the credentials.
+func (m *BlockMsg) Round() uint64 { return m.Announce.Round }
+
+// Priority returns the proposal's priority.
+func (m *BlockMsg) Priority() sortition.Priority { return m.Announce.Priority }
+
+// WireSize returns the message size (block plus credentials).
+func (m *BlockMsg) WireSize() int {
+	return m.Block.WireSize() + PriorityMsgWireSize
+}
+
+// Proposal is a block proposal this node has made.
+type Proposal struct {
+	Priority PriorityMsg
+	Block    BlockMsg
+}
+
+// Propose runs proposer sortition for the round and, if selected,
+// builds the proposal messages around the supplied block. It returns
+// nil if the user was not selected. The block's seed fields must
+// already be filled in by the caller (they depend on the proposer's
+// VRF, see ledger.SeedFromVRF).
+func Propose(
+	id crypto.Identity,
+	roleKind string,
+	seed crypto.Digest,
+	round uint64,
+	tauProposer uint64,
+	weight, totalWeight uint64,
+	block *ledger.Block,
+) *Proposal {
+	role := sortition.Role{Kind: roleKind, Round: round}
+	res := sortition.Execute(id, seed[:], role, tauProposer, weight, totalWeight)
+	if !res.Selected() {
+		return nil
+	}
+	pri, idx := sortition.BestPriority(res.Output, res.J)
+	pm := PriorityMsg{
+		Proposer:  id.PublicKey(),
+		Round:     round,
+		BlockHash: block.Hash(),
+		SortHash:  res.Output,
+		SortProof: res.Proof,
+		SubUser:   idx,
+		Priority:  pri,
+	}
+	pm.Sig = id.Sign(pm.SigningBytes())
+	bm := BlockMsg{Block: block, Announce: pm}
+	return &Proposal{Priority: pm, Block: bm}
+}
+
+// VerifyPriority checks a priority message: signature, sortition proof
+// for the proposer role, sub-user index in range, and the priority hash
+// itself. It returns the verified number of selected sub-users (0 if
+// invalid).
+func VerifyPriority(
+	p crypto.Provider,
+	m *PriorityMsg,
+	roleKind string,
+	seed crypto.Digest,
+	tauProposer uint64,
+	weight, totalWeight uint64,
+) uint64 {
+	if !p.VerifySig(m.Proposer, m.SigningBytes(), m.Sig) {
+		return 0
+	}
+	role := sortition.Role{Kind: roleKind, Round: m.Round}
+	out, j := sortition.Verify(p, m.Proposer, m.SortProof, seed[:], role, tauProposer, weight, totalWeight)
+	if j == 0 || out != m.SortHash {
+		return 0
+	}
+	if m.SubUser == 0 || m.SubUser > j {
+		return 0
+	}
+	if sortition.SubUserHash(out, m.SubUser) != crypto.Digest(m.Priority) {
+		return 0
+	}
+	return j
+}
+
+// VerifyBlockMsg checks a block message's announce credentials and that
+// the body matches the announced hash (the block's semantic validity is
+// the ledger's job).
+func VerifyBlockMsg(
+	p crypto.Provider,
+	m *BlockMsg,
+	roleKind string,
+	seed crypto.Digest,
+	tauProposer uint64,
+	weight, totalWeight uint64,
+) bool {
+	if VerifyPriority(p, &m.Announce, roleKind, seed, tauProposer, weight, totalWeight) == 0 {
+		return false
+	}
+	return m.Announce.BlockHash == m.Block.Hash()
+}
+
+// WaitResult is the outcome of waiting for block proposals.
+type WaitResult struct {
+	// Block is the highest-priority proposal received, or nil if the
+	// user fell back to the empty block.
+	Block *ledger.Block
+	// Priority is the winning priority (zero if none).
+	Priority sortition.Priority
+	// Equivocation reports that the winning proposer sent conflicting
+	// blocks and both were discarded (§10.4 optimization).
+	Equivocation bool
+	// BestPriorityAt is when the winning priority was first learned
+	// (for the §10.5 priority-propagation measurement).
+	BestPriorityAt time.Duration
+}
+
+// arrival is what the node's network handler enqueues for the waiter:
+// either a PriorityMsg or a BlockMsg (already credential-verified).
+type arrival struct {
+	pri *PriorityMsg
+	blk *BlockMsg
+}
+
+// NewArrivalPriority wraps a verified priority message for the waiter.
+func NewArrivalPriority(m *PriorityMsg) any { return arrival{pri: m} }
+
+// NewArrivalBlock wraps a verified block message for the waiter.
+func NewArrivalBlock(m *BlockMsg) any { return arrival{blk: m} }
+
+// Wait implements the §6 waiting discipline: listen for priority and
+// block messages on inbox for λ_priority+λ_stepvar to learn the highest
+// priority, then keep waiting (up to the λ_block deadline measured from
+// the start) for the matching block. It returns the chosen block or the
+// empty-block fallback.
+func Wait(
+	proc *vtime.Proc,
+	inbox *vtime.Mailbox,
+	lambdaPriority, lambdaStepVar, lambdaBlock time.Duration,
+) WaitResult {
+	return WaitOpts(proc, inbox, lambdaPriority, lambdaStepVar, lambdaBlock, false)
+}
+
+// WaitOpts is Wait with the §10.4 equivocation policy selectable:
+// keepFirst keeps the first block version received from an equivocating
+// proposer instead of discarding both (the ablation of the paper's
+// discard-both optimization).
+func WaitOpts(
+	proc *vtime.Proc,
+	inbox *vtime.Mailbox,
+	lambdaPriority, lambdaStepVar, lambdaBlock time.Duration,
+	keepFirst bool,
+) WaitResult {
+	start := proc.Now()
+	priorityDeadline := start + lambdaPriority + lambdaStepVar
+	blockDeadline := start + lambdaBlock
+
+	var best sortition.Priority
+	var bestProposer crypto.PublicKey
+	var bestAt time.Duration
+	haveBest := false
+	// Candidate blocks by proposer, to detect equivocation and to have
+	// the block at hand when its priority wins. announced tracks the
+	// hash each proposer bound to its priority; a second hash marks the
+	// proposer an equivocator (§10.4) without needing both block bodies.
+	blocks := make(map[crypto.PublicKey]*BlockMsg)
+	announced := make(map[crypto.PublicKey]crypto.Digest)
+	equivocators := make(map[crypto.PublicKey]bool)
+
+	noteHash := func(proposer crypto.PublicKey, h crypto.Digest) {
+		if prev, ok := announced[proposer]; ok && prev != h {
+			equivocators[proposer] = true
+			return
+		}
+		announced[proposer] = h
+	}
+
+	note := func(pri sortition.Priority, proposer crypto.PublicKey) {
+		if !haveBest || best.Less(pri) {
+			best = pri
+			bestProposer = proposer
+			bestAt = proc.Now()
+			haveBest = true
+		}
+	}
+
+	// Phase 1: collect priorities (block messages may arrive too).
+	for proc.Now() < priorityDeadline {
+		m, ok := proc.RecvDeadline(inbox, priorityDeadline)
+		if !ok {
+			break
+		}
+		a := m.(arrival)
+		if a.pri != nil {
+			note(a.pri.Priority, a.pri.Proposer)
+			noteHash(a.pri.Proposer, a.pri.BlockHash)
+		}
+		if a.blk != nil {
+			noteBlock(blocks, equivocators, a.blk)
+			note(a.blk.Priority(), a.blk.Proposer())
+			noteHash(a.blk.Proposer(), a.blk.Block.Hash())
+		}
+	}
+	if !haveBest {
+		return WaitResult{}
+	}
+	_ = bestAt
+
+	// Phase 2: wait for the winning block.
+	for {
+		if equivocators[bestProposer] && !keepFirst {
+			return WaitResult{Priority: best, Equivocation: true, BestPriorityAt: bestAt}
+		}
+		if bm, ok := blocks[bestProposer]; ok {
+			return WaitResult{Block: bm.Block, Priority: best, BestPriorityAt: bestAt}
+		}
+		m, ok := proc.RecvDeadline(inbox, blockDeadline)
+		if !ok {
+			return WaitResult{Priority: best, BestPriorityAt: bestAt} // timed out: empty block
+		}
+		a := m.(arrival)
+		if a.blk != nil {
+			noteBlock(blocks, equivocators, a.blk)
+			noteHash(a.blk.Proposer(), a.blk.Block.Hash())
+		}
+		// Late priority messages can still raise the bar.
+		if a.pri != nil {
+			note(a.pri.Priority, a.pri.Proposer)
+			noteHash(a.pri.Proposer, a.pri.BlockHash)
+		}
+	}
+}
+
+// noteBlock records a block arrival, flagging equivocation when a
+// proposer sends two different blocks for the same round (§10.4: "if a
+// user receives two conflicting versions of a block from the highest
+// priority block proposer ... he discards both proposals").
+func noteBlock(blocks map[crypto.PublicKey]*BlockMsg, equivocators map[crypto.PublicKey]bool, bm *BlockMsg) {
+	prev, ok := blocks[bm.Proposer()]
+	if ok && prev.Block.Hash() != bm.Block.Hash() {
+		equivocators[bm.Proposer()] = true
+		return
+	}
+	blocks[bm.Proposer()] = bm
+}

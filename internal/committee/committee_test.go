@@ -1,0 +1,147 @@
+package committee
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPoissonPMFSanity(t *testing.T) {
+	// P[Pois(1) = 0] = e^-1.
+	if got := math.Exp(logPoisPMF(0, 1)); math.Abs(got-math.Exp(-1)) > 1e-12 {
+		t.Fatalf("pmf(0;1) = %v", got)
+	}
+	// PMF sums to 1.
+	sum := 0.0
+	for k := 0; k < 100; k++ {
+		sum += math.Exp(logPoisPMF(k, 10))
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("pmf sum = %v", sum)
+	}
+	// Zero lambda.
+	if logPoisPMF(0, 0) != 0 || !math.IsInf(logPoisPMF(1, 0), -1) {
+		t.Fatal("lambda=0 cases wrong")
+	}
+}
+
+func TestPoisCDFMonotone(t *testing.T) {
+	cdf := poisCDF(50, 200)
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if math.Abs(cdf[199]-1) > 1e-9 {
+		t.Fatalf("CDF tail = %v", cdf[199])
+	}
+}
+
+func TestViolationDecreasesWithTau(t *testing.T) {
+	h := 0.8
+	prev := 1.0
+	for _, tau := range []float64{100, 500, 1000, 2000, 4000} {
+		_, v := BestThreshold(tau, h)
+		if v > prev*1.001 {
+			t.Fatalf("violation not decreasing at tau=%v: %v > %v", tau, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestViolationImprovesWithHonestyCoarsely(t *testing.T) {
+	// At fixed tau the violation probability is NOT strictly monotone in
+	// h (more honest users also add g/2 weight against the safety
+	// constraint), but coarsely, low honesty must be far worse.
+	tau := 2000.0
+	_, vLow := BestThreshold(tau, 0.70)
+	_, vHigh := BestThreshold(tau, 0.85)
+	if vLow < vHigh*1e3 {
+		t.Fatalf("h=0.70 (%v) should be orders of magnitude worse than h=0.85 (%v)", vLow, vHigh)
+	}
+}
+
+// TestPaperOperatingPoint reproduces the headline of Figure 3: at
+// h = 80%, an expected committee of 2,000 with threshold ≈ 0.685 keeps
+// the violation probability at or below 5·10⁻⁹.
+func TestPaperOperatingPoint(t *testing.T) {
+	v := StepViolationProb(2000, 0.80, 0.685)
+	if v > 5e-9 {
+		t.Fatalf("violation at paper's parameters = %v, want <= 5e-9", v)
+	}
+	// And the bound should be tight-ish: a drastically smaller committee
+	// must not reach it.
+	if v2 := StepViolationProb(500, 0.80, 0.685); v2 <= 5e-9 {
+		t.Fatalf("tau=500 should violate: %v", v2)
+	}
+}
+
+func TestMinTauAtPaperPoint(t *testing.T) {
+	tau, T := MinTau(0.80, 5e-9)
+	// The paper picks 2,000 at h=80%; our Poisson evaluation should land
+	// in the same neighborhood.
+	if tau < 1200 || tau > 2600 {
+		t.Fatalf("MinTau(0.80) = %d, want ≈2000", tau)
+	}
+	if T <= 2.0/3 || T >= 0.95 {
+		t.Fatalf("threshold %v out of range", T)
+	}
+	// Verify the returned pair actually meets the target.
+	if v := StepViolationProb(float64(tau), 0.80, T); v > 5e-9 {
+		t.Fatalf("returned parameters violate target: %v", v)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	pts := Figure3([]float64{0.76, 0.80, 0.85, 0.90})
+	// Committee size must shrink as honesty grows (the figure's shape).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Tau >= pts[i-1].Tau {
+			t.Fatalf("tau not decreasing: %+v", pts)
+		}
+	}
+	// Blow-up toward h = 2/3: the lowest h must need a much larger
+	// committee than h=0.9.
+	if pts[0].Tau < 3*pts[len(pts)-1].Tau {
+		t.Fatalf("expected steep growth near 2/3: %+v", pts)
+	}
+}
+
+func TestAdversaryCertificateBound(t *testing.T) {
+	// §8.3: for τ_step > 1000 the per-step certificate-forging
+	// probability is below 2^-166. Check our number at the paper's
+	// operating point is at least that small.
+	log2p := AdversaryCertificateLog2Prob(2000, 0.80, 0.685)
+	if log2p > -166 {
+		t.Fatalf("log2 P = %v, want <= -166", log2p)
+	}
+	// And that it is not absurdly small (sanity of the computation):
+	if log2p < -5000 || math.IsInf(log2p, -1) {
+		t.Fatalf("log2 P = %v implausible", log2p)
+	}
+	// At τ = 1000 the bound should also hold (paper: "for τ_step > 1,000").
+	if l := AdversaryCertificateLog2Prob(1000, 0.80, 0.685); l > -166 {
+		t.Fatalf("tau=1000: log2 P = %v", l)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	got := logSumExp([]float64{math.Log(0.25), math.Log(0.5), math.Log(0.25)})
+	if math.Abs(got) > 1e-12 {
+		t.Fatalf("logSumExp = %v, want 0", got)
+	}
+	if !math.IsInf(logSumExp([]float64{math.Inf(-1)}), -1) {
+		t.Fatal("all -inf should stay -inf")
+	}
+}
+
+func BenchmarkStepViolationProb(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		StepViolationProb(2000, 0.80, 0.685)
+	}
+}
+
+func BenchmarkMinTau(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MinTau(0.80, 5e-9)
+	}
+}

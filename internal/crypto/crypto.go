@@ -1,0 +1,92 @@
+// Package crypto defines the cryptographic interface used by every
+// protocol component (signatures, VRFs, hashing) and provides two
+// implementations:
+//
+//   - Real: Ed25519 signatures (stdlib) and our ECVRF over edwards25519
+//     (internal/crypto/vrf). This is the faithful construction from the
+//     paper (§9: Curve25519 signatures and the VRF of Goldberg et al.).
+//   - Fast: keyed-hash stand-ins with an explicit CPU-cost model, used
+//     for large simulations. The paper itself replaces signature/VRF
+//     verification with equal-duration sleeps for its 500,000-user
+//     experiment (§10.1); Fast is the systematic version of that trick.
+//
+// All protocol code is written against Provider, so experiments choose
+// fidelity per run.
+package crypto
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Digest is a 32-byte SHA-256 hash value, used for block hashes, message
+// hashes and seeds. The paper uses SHA-256 as its hash function H (§9).
+type Digest [32]byte
+
+// String returns a short hex prefix for logging.
+func (d Digest) String() string {
+	return hex.EncodeToString(d[:4])
+}
+
+// Hex returns the full hex encoding.
+func (d Digest) Hex() string {
+	return hex.EncodeToString(d[:])
+}
+
+// IsZero reports whether d is the all-zero digest.
+func (d Digest) IsZero() bool {
+	return d == Digest{}
+}
+
+// HashBytes hashes the concatenation of the given byte slices with a
+// domain-separation label, modeling the random oracle H of the paper.
+func HashBytes(domain string, parts ...[]byte) Digest {
+	h := sha256.New()
+	// Length-prefix the domain and every part so concatenation is
+	// unambiguous.
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(domain)))
+	h.Write(lenBuf[:])
+	h.Write([]byte(domain))
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// HashUint64 is a convenience for hashing integers along with byte parts.
+func HashUint64(domain string, x uint64, parts ...[]byte) Digest {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], x)
+	all := make([][]byte, 0, len(parts)+1)
+	all = append(all, buf[:])
+	all = append(all, parts...)
+	return HashBytes(domain, all...)
+}
+
+// PublicKey identifies a user. Both providers emit 32-byte keys, so a
+// PublicKey is usable as a map key throughout the ledger and protocol.
+type PublicKey [32]byte
+
+// String returns a short hex prefix for logging.
+func (pk PublicKey) String() string {
+	return hex.EncodeToString(pk[:4])
+}
+
+// VRFOutput is the 64-byte pseudorandom output of the VRF ("hash" in
+// Algorithms 1-2 of the paper).
+type VRFOutput [64]byte
+
+// Seed is the 32-byte secret seed from which an identity is derived.
+type Seed [32]byte
+
+// SeedFromUint64 derives a deterministic test/simulation seed.
+func SeedFromUint64(x uint64) Seed {
+	d := HashUint64("algorand.seed", x)
+	return Seed(d)
+}

@@ -1,0 +1,225 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func providers() []Provider {
+	return []Provider{NewReal(), NewFast()}
+}
+
+func TestSignVerifyAllProviders(t *testing.T) {
+	for _, p := range providers() {
+		t.Run(p.Name(), func(t *testing.T) {
+			id := p.NewIdentity(SeedFromUint64(1))
+			msg := []byte("vote: round 3 step 1")
+			sig := id.Sign(msg)
+			if !p.VerifySig(id.PublicKey(), msg, sig) {
+				t.Fatal("valid signature rejected")
+			}
+			if p.VerifySig(id.PublicKey(), []byte("other"), sig) {
+				t.Fatal("signature accepted for wrong message")
+			}
+			other := p.NewIdentity(SeedFromUint64(2))
+			if p.VerifySig(other.PublicKey(), msg, sig) {
+				t.Fatal("signature accepted for wrong key")
+			}
+			bad := append([]byte(nil), sig...)
+			bad[0] ^= 1
+			if p.VerifySig(id.PublicKey(), msg, bad) {
+				t.Fatal("tampered signature accepted")
+			}
+		})
+	}
+}
+
+func TestVRFAllProviders(t *testing.T) {
+	for _, p := range providers() {
+		t.Run(p.Name(), func(t *testing.T) {
+			id := p.NewIdentity(SeedFromUint64(3))
+			alpha := []byte("seed||role")
+			out, proof := id.VRFProve(alpha)
+			got, ok := p.VRFVerify(id.PublicKey(), alpha, proof)
+			if !ok {
+				t.Fatal("valid VRF proof rejected")
+			}
+			if got != out {
+				t.Fatal("VRF verify output differs from prove output")
+			}
+			if _, ok := p.VRFVerify(id.PublicKey(), []byte("different"), proof); ok {
+				t.Fatal("VRF proof accepted for wrong alpha")
+			}
+			other := p.NewIdentity(SeedFromUint64(4))
+			if _, ok := p.VRFVerify(other.PublicKey(), alpha, proof); ok {
+				t.Fatal("VRF proof accepted for wrong key")
+			}
+			// Determinism.
+			out2, _ := id.VRFProve(alpha)
+			if out != out2 {
+				t.Fatal("VRF not deterministic")
+			}
+		})
+	}
+}
+
+func TestIdentityDeterministic(t *testing.T) {
+	for _, p := range providers() {
+		a := p.NewIdentity(SeedFromUint64(7))
+		b := p.NewIdentity(SeedFromUint64(7))
+		if a.PublicKey() != b.PublicKey() {
+			t.Fatalf("%s: same seed produced different keys", p.Name())
+		}
+	}
+}
+
+func TestFastUnknownKey(t *testing.T) {
+	f := NewFast()
+	var pk PublicKey
+	pk[0] = 9
+	if f.VerifySig(pk, []byte("m"), []byte("s")) {
+		t.Fatal("unknown key verified")
+	}
+	if _, ok := f.VRFVerify(pk, []byte("a"), []byte("p")); ok {
+		t.Fatal("unknown key VRF verified")
+	}
+}
+
+func TestHashBytesDomainSeparation(t *testing.T) {
+	a := HashBytes("domA", []byte("x"))
+	b := HashBytes("domB", []byte("x"))
+	if a == b {
+		t.Fatal("domains not separated")
+	}
+	// Length-prefixing must prevent concatenation ambiguity:
+	// ("ab","c") != ("a","bc").
+	x := HashBytes("d", []byte("ab"), []byte("c"))
+	y := HashBytes("d", []byte("a"), []byte("bc"))
+	if x == y {
+		t.Fatal("concatenation ambiguity")
+	}
+}
+
+func TestHashUint64(t *testing.T) {
+	if HashUint64("d", 1) == HashUint64("d", 2) {
+		t.Fatal("different ints collide")
+	}
+	if HashUint64("d", 1, []byte("x")) == HashUint64("d", 1, []byte("y")) {
+		t.Fatal("different parts collide")
+	}
+}
+
+func TestDigestHelpers(t *testing.T) {
+	var d Digest
+	if !d.IsZero() {
+		t.Fatal("zero digest not zero")
+	}
+	d[0] = 1
+	if d.IsZero() {
+		t.Fatal("nonzero digest is zero")
+	}
+	if len(d.Hex()) != 64 || len(d.String()) != 8 {
+		t.Fatal("unexpected hex lengths")
+	}
+}
+
+// Property: across random seeds, providers agree that each identity's
+// own signatures and proofs verify.
+func TestProvidersQuick(t *testing.T) {
+	for _, p := range providers() {
+		f := func(seedWord uint64, msg []byte) bool {
+			id := p.NewIdentity(SeedFromUint64(seedWord))
+			sig := id.Sign(msg)
+			out, proof := id.VRFProve(msg)
+			got, ok := p.VRFVerify(id.PublicKey(), msg, proof)
+			return p.VerifySig(id.PublicKey(), msg, sig) && ok && got == out
+		}
+		cfg := &quick.Config{MaxCount: 8}
+		if p.Name() == "fast" {
+			cfg.MaxCount = 64
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	f := NewFast()
+	if f.Costs().VRFVerify <= 0 {
+		t.Fatal("fast provider must model VRF verification cost")
+	}
+	r := NewReal()
+	if r.Costs() != (CostModel{}) {
+		t.Fatal("real provider should default to zero modeled cost")
+	}
+	r.CostOverride = &CostModel{VerifySig: 1}
+	if r.Costs().VerifySig != 1 {
+		t.Fatal("cost override ignored")
+	}
+}
+
+func TestSeedFromUint64Distinct(t *testing.T) {
+	seen := make(map[Seed]bool)
+	for i := uint64(0); i < 100; i++ {
+		s := SeedFromUint64(i)
+		if seen[s] {
+			t.Fatal("seed collision")
+		}
+		seen[s] = true
+	}
+}
+
+func BenchmarkRealSign(b *testing.B) {
+	p := NewReal()
+	id := p.NewIdentity(SeedFromUint64(1))
+	msg := bytes.Repeat([]byte{1}, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id.Sign(msg)
+	}
+}
+
+func BenchmarkRealVerifySig(b *testing.B) {
+	p := NewReal()
+	id := p.NewIdentity(SeedFromUint64(1))
+	msg := bytes.Repeat([]byte{1}, 200)
+	sig := id.Sign(msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.VerifySig(id.PublicKey(), msg, sig)
+	}
+}
+
+func BenchmarkRealVRFProve(b *testing.B) {
+	p := NewReal()
+	id := p.NewIdentity(SeedFromUint64(1))
+	alpha := []byte("alpha")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id.VRFProve(alpha)
+	}
+}
+
+func BenchmarkRealVRFVerify(b *testing.B) {
+	p := NewReal()
+	id := p.NewIdentity(SeedFromUint64(1))
+	alpha := []byte("alpha")
+	_, proof := id.VRFProve(alpha)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.VRFVerify(id.PublicKey(), alpha, proof)
+	}
+}
+
+func BenchmarkFastVRFVerify(b *testing.B) {
+	p := NewFast()
+	id := p.NewIdentity(SeedFromUint64(1))
+	alpha := []byte("alpha")
+	_, proof := id.VRFProve(alpha)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.VRFVerify(id.PublicKey(), alpha, proof)
+	}
+}

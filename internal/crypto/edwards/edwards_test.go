@@ -1,0 +1,381 @@
+package edwards
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/sha512"
+	"encoding/hex"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasePointEncoding(t *testing.T) {
+	// The canonical compressed encoding of the Ed25519 base point.
+	want, _ := hex.DecodeString("5866666666666666666666666666666666666666666666666666666666666666")
+	b := NewGeneratorPoint().Bytes()
+	if !bytes.Equal(b[:], want) {
+		t.Fatalf("base point encoding mismatch:\n got %x\nwant %x", b, want)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := NewIdentityPoint()
+	if !id.IsIdentity() {
+		t.Fatal("identity is not identity")
+	}
+	b := NewGeneratorPoint()
+	var sum Point
+	sum.Add(b, id)
+	if !sum.Equal(b) {
+		t.Fatal("B + 0 != B")
+	}
+	var diff Point
+	diff.Subtract(b, b)
+	if !diff.IsIdentity() {
+		t.Fatal("B - B != 0")
+	}
+}
+
+func TestBasePointOrder(t *testing.T) {
+	var s Scalar
+	s.SetBigInt(Order()) // = 0 mod l, but exercise via explicit bytes below
+	var lBytes [32]byte
+	be := Order().Bytes()
+	for i := 0; i < len(be); i++ {
+		lBytes[i] = be[len(be)-1-i]
+	}
+	var p Point
+	p.scalarMultBytes(lBytes[:], NewGeneratorPoint())
+	if !p.IsIdentity() {
+		t.Fatal("l*B != identity")
+	}
+}
+
+func TestCompressionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		p := randomPoint(rng)
+		enc := p.Bytes()
+		var q Point
+		if _, err := q.SetBytes(enc[:]); err != nil {
+			t.Fatal(err)
+		}
+		if !p.Equal(&q) {
+			t.Fatal("decompress(compress(p)) != p")
+		}
+		enc2 := q.Bytes()
+		if enc != enc2 {
+			t.Fatal("re-encoding differs")
+		}
+	}
+}
+
+func TestSetBytesRejectsInvalid(t *testing.T) {
+	// An x-coordinate that is not on the curve: y = 2 gives a non-square
+	// ratio for this curve... find one by scanning.
+	found := 0
+	for y := int64(0); y < 50 && found == 0; y++ {
+		var enc [32]byte
+		enc[0] = byte(y)
+		var p Point
+		if _, err := p.SetBytes(enc[:]); err != nil {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("expected at least one invalid small-y encoding")
+	}
+	// Wrong length.
+	var p Point
+	if _, err := p.SetBytes(make([]byte, 31)); err == nil {
+		t.Fatal("expected length error")
+	}
+	// Non-canonical y (y = p).
+	pBytes, _ := hex.DecodeString("edffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f")
+	if _, err := p.SetBytes(pBytes); err == nil {
+		t.Fatal("expected rejection of y = p")
+	}
+}
+
+// randomPoint returns r*B for random r.
+func randomPoint(rng *rand.Rand) *Point {
+	var s Scalar
+	s.SetBigInt(new(big.Int).Rand(rng, Order()))
+	var p Point
+	p.ScalarBaseMult(&s)
+	return &p
+}
+
+func TestScalarMultDistributes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		a := new(big.Int).Rand(rng, Order())
+		b := new(big.Int).Rand(rng, Order())
+		var sa, sb, sab Scalar
+		sa.SetBigInt(a)
+		sb.SetBigInt(b)
+		sab.SetBigInt(new(big.Int).Add(a, b))
+
+		var pa, pb, sum, direct Point
+		pa.ScalarBaseMult(&sa)
+		pb.ScalarBaseMult(&sb)
+		sum.Add(&pa, &pb)
+		direct.ScalarBaseMult(&sab)
+		if !sum.Equal(&direct) {
+			t.Fatalf("(a+b)B != aB + bB for a=%v b=%v", a, b)
+		}
+	}
+}
+
+func TestScalarMultAssociates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		a := new(big.Int).Rand(rng, Order())
+		b := new(big.Int).Rand(rng, Order())
+		var sa, sb, sab Scalar
+		sa.SetBigInt(a)
+		sb.SetBigInt(b)
+		sab.SetBigInt(new(big.Int).Mul(a, b))
+
+		var pb, papb, direct Point
+		pb.ScalarBaseMult(&sb)
+		papb.ScalarMult(&sa, &pb)
+		direct.ScalarBaseMult(&sab)
+		if !papb.Equal(&direct) {
+			t.Fatalf("a(bB) != (ab)B")
+		}
+	}
+}
+
+// TestEd25519PublicKeyAgreement cross-checks our scalar multiplication
+// and compression against the standard library's Ed25519 key derivation:
+// pk = clamp(SHA512(seed)[:32]) * B.
+func TestEd25519PublicKeyAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20; i++ {
+		seed := make([]byte, ed25519.SeedSize)
+		rng.Read(seed)
+		priv := ed25519.NewKeyFromSeed(seed)
+		wantPK := priv.Public().(ed25519.PublicKey)
+
+		h := sha512.Sum512(seed)
+		var s Scalar
+		if _, err := s.SetClampedBytes(h[:32]); err != nil {
+			t.Fatal(err)
+		}
+		var p Point
+		p.ScalarBaseMult(&s)
+		got := p.Bytes()
+		if !bytes.Equal(got[:], wantPK) {
+			t.Fatalf("public key mismatch:\n got %x\nwant %x", got, []byte(wantPK))
+		}
+	}
+}
+
+func TestCofactorAndSmallOrder(t *testing.T) {
+	id := NewIdentityPoint()
+	if !id.IsSmallOrder() {
+		t.Fatal("identity should be small order")
+	}
+	b := NewGeneratorPoint()
+	if b.IsSmallOrder() {
+		t.Fatal("B should not be small order")
+	}
+	var e Point
+	e.MultByCofactor(b)
+	// 8B should equal scalar 8 times B.
+	var s Scalar
+	s.SetBigInt(big.NewInt(8))
+	var want Point
+	want.ScalarBaseMult(&s)
+	if !e.Equal(&want) {
+		t.Fatal("MultByCofactor != 8*B")
+	}
+}
+
+func TestVarTimeDoubleScalarBaseMult(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10; i++ {
+		a := new(big.Int).Rand(rng, Order())
+		b := new(big.Int).Rand(rng, Order())
+		var sa, sb Scalar
+		sa.SetBigInt(a)
+		sb.SetBigInt(b)
+		pA := randomPoint(rng)
+
+		var got Point
+		got.VarTimeDoubleScalarBaseMult(&sa, pA, &sb)
+
+		var t1, t2, want Point
+		t1.ScalarMult(&sa, pA)
+		t2.ScalarBaseMult(&sb)
+		want.Add(&t1, &t2)
+		if !got.Equal(&want) {
+			t.Fatal("double scalar mult mismatch")
+		}
+	}
+}
+
+func TestNegate(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := randomPoint(rng)
+	var n, sum Point
+	n.Negate(p)
+	sum.Add(p, &n)
+	if !sum.IsIdentity() {
+		t.Fatal("p + (-p) != identity")
+	}
+}
+
+func TestScalarSetUniformBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		var buf [64]byte
+		rng.Read(buf[:])
+		var s Scalar
+		if _, err := s.SetUniformBytes(buf[:]); err != nil {
+			t.Fatal(err)
+		}
+		// Compare against big.Int little-endian interpretation mod l.
+		var be [64]byte
+		for j := 0; j < 64; j++ {
+			be[j] = buf[63-j]
+		}
+		want := new(big.Int).SetBytes(be[:])
+		want.Mod(want, Order())
+		if s.big().Cmp(want) != 0 {
+			t.Fatal("SetUniformBytes reduction mismatch")
+		}
+	}
+	var s Scalar
+	if _, err := s.SetUniformBytes(make([]byte, 32)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestScalarCanonical(t *testing.T) {
+	// l itself must be rejected.
+	var lLE [32]byte
+	be := Order().Bytes()
+	for i := 0; i < len(be); i++ {
+		lLE[i] = be[len(be)-1-i]
+	}
+	var s Scalar
+	if _, err := s.SetCanonicalBytes(lLE[:]); err == nil {
+		t.Fatal("expected rejection of l")
+	}
+	// l-1 must be accepted.
+	lm1 := new(big.Int).Sub(Order(), big.NewInt(1))
+	be = lm1.Bytes()
+	var lm1LE [32]byte
+	for i := 0; i < len(be); i++ {
+		lm1LE[i] = be[len(be)-1-i]
+	}
+	if _, err := s.SetCanonicalBytes(lm1LE[:]); err != nil {
+		t.Fatal(err)
+	}
+	if s.big().Cmp(lm1) != 0 {
+		t.Fatal("canonical round trip mismatch")
+	}
+}
+
+func TestScalarArithmetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	l := Order()
+	for i := 0; i < 100; i++ {
+		a := new(big.Int).Rand(rng, l)
+		b := new(big.Int).Rand(rng, l)
+		c := new(big.Int).Rand(rng, l)
+		var sa, sb, sc, got Scalar
+		sa.SetBigInt(a)
+		sb.SetBigInt(b)
+		sc.SetBigInt(c)
+
+		got.MultiplyAdd(&sa, &sb, &sc)
+		want := new(big.Int).Mul(a, b)
+		want.Add(want, c)
+		want.Mod(want, l)
+		if got.big().Cmp(want) != 0 {
+			t.Fatal("MultiplyAdd mismatch")
+		}
+
+		got.Add(&sa, &sb)
+		want = new(big.Int).Add(a, b)
+		want.Mod(want, l)
+		if got.big().Cmp(want) != 0 {
+			t.Fatal("Add mismatch")
+		}
+
+		got.Negate(&sa)
+		want = new(big.Int).Neg(a)
+		want.Mod(want, l)
+		if got.big().Cmp(want) != 0 {
+			t.Fatal("Negate mismatch")
+		}
+	}
+}
+
+// Property test via testing/quick: addition on the curve is commutative
+// and associative for random multiples of B.
+func TestGroupLawsQuick(t *testing.T) {
+	mk := func(seed int64) *Point {
+		rng := rand.New(rand.NewSource(seed))
+		return randomPoint(rng)
+	}
+	comm := func(s1, s2 int64) bool {
+		p, q := mk(s1), mk(s2)
+		var a, b Point
+		a.Add(p, q)
+		b.Add(q, p)
+		return a.Equal(&b)
+	}
+	if err := quick.Check(comm, &quick.Config{MaxCount: 16}); err != nil {
+		t.Fatalf("commutativity: %v", err)
+	}
+	assoc := func(s1, s2, s3 int64) bool {
+		p, q, r := mk(s1), mk(s2), mk(s3)
+		var a, b Point
+		a.Add(p, q)
+		a.Add(&a, r)
+		b.Add(q, r)
+		b.Add(p, &b)
+		return a.Equal(&b)
+	}
+	if err := quick.Check(assoc, &quick.Config{MaxCount: 16}); err != nil {
+		t.Fatalf("associativity: %v", err)
+	}
+}
+
+func BenchmarkScalarBaseMult(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	var s Scalar
+	s.SetBigInt(new(big.Int).Rand(rng, Order()))
+	var p Point
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ScalarBaseMult(&s)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	p := randomPoint(rng)
+	q := randomPoint(rng)
+	var v Point
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Add(p, q)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	enc := randomPoint(rng).Bytes()
+	var p Point
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SetBytes(enc[:])
+	}
+}

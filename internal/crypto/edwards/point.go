@@ -1,0 +1,262 @@
+// Package edwards implements the edwards25519 group: the twisted Edwards
+// curve -x^2 + y^2 = 1 + d*x^2*y^2 over GF(2^255-19), with d =
+// -121665/121666, as used by Ed25519 (RFC 8032) and the ECVRF suites of
+// RFC 9381.
+//
+// Points use extended homogeneous coordinates (X : Y : Z : T) with
+// x = X/Z, y = Y/Z, x*y = T/Z. The addition law is the strongly unified
+// add-2008-hwcd-3 formula set, valid for all curve points since d is a
+// non-square, so it doubles correctly as well.
+//
+// Scalar multiplication is variable-time double-and-add; this library
+// targets simulation and research use, not side-channel resistance
+// (see DESIGN.md).
+package edwards
+
+import (
+	"errors"
+
+	"algorand/internal/crypto/fe"
+)
+
+// Point is a point on edwards25519. The zero value is invalid; obtain
+// points from NewIdentityPoint, NewGeneratorPoint, or SetBytes.
+type Point struct {
+	x, y, z, t fe.Element
+}
+
+// d is the curve constant -121665/121666 mod p, and d2 = 2*d.
+var curveD, curveD2 fe.Element
+
+// basePoint is the standard generator B with y = 4/5 and x even.
+var basePoint Point
+
+func init() {
+	// d = -121665 / 121666 mod p
+	var num, den fe.Element
+	num.FromBig(bigInt(-121665))
+	den.FromBig(bigInt(121666))
+	den.Invert(&den)
+	curveD.Multiply(&num, &den)
+	curveD2.Add(&curveD, &curveD)
+
+	// B: y = 4/5, sign bit 0 (x even).
+	var y fe.Element
+	var four, five fe.Element
+	four.FromBig(bigInt(4))
+	five.FromBig(bigInt(5))
+	five.Invert(&five)
+	y.Multiply(&four, &five)
+	enc := y.Bytes()
+	if _, err := basePoint.SetBytes(enc[:]); err != nil {
+		panic("edwards: cannot construct base point: " + err.Error())
+	}
+}
+
+// NewIdentityPoint returns the neutral element (0, 1).
+func NewIdentityPoint() *Point {
+	p := &Point{}
+	p.x.Zero()
+	p.y.One()
+	p.z.One()
+	p.t.Zero()
+	return p
+}
+
+// NewGeneratorPoint returns a copy of the standard base point B.
+func NewGeneratorPoint() *Point {
+	p := &Point{}
+	*p = basePoint
+	return p
+}
+
+// Set sets v = u and returns v.
+func (v *Point) Set(u *Point) *Point {
+	*v = *u
+	return v
+}
+
+// Bytes returns the canonical 32-byte compressed encoding of v: the
+// little-endian encoding of y with the sign of x in the top bit.
+func (v *Point) Bytes() [32]byte {
+	var zInv, x, y fe.Element
+	zInv.Invert(&v.z)
+	x.Multiply(&v.x, &zInv)
+	y.Multiply(&v.y, &zInv)
+
+	out := y.Bytes()
+	if x.IsNegative() {
+		out[31] |= 0x80
+	}
+	return out
+}
+
+// SetBytes decompresses the 32-byte encoding in, setting v and returning
+// it, or returns an error if in is not a valid point encoding. Following
+// RFC 8032, the y coordinate must decode to an element below p, and
+// x = 0 with sign bit 1 is rejected.
+func (v *Point) SetBytes(in []byte) (*Point, error) {
+	if len(in) != 32 {
+		return nil, errors.New("edwards: invalid point encoding length")
+	}
+	var yBytes [32]byte
+	copy(yBytes[:], in)
+	signBit := yBytes[31]&0x80 != 0
+	yBytes[31] &= 0x7f
+
+	var y fe.Element
+	if _, err := y.SetCanonicalBytes(yBytes[:]); err != nil {
+		return nil, errors.New("edwards: non-canonical y coordinate")
+	}
+
+	// x^2 = (y^2 - 1) / (d*y^2 + 1)
+	var y2, u, w fe.Element
+	y2.Square(&y)
+	u.Subtract(&y2, new(fe.Element).One())
+	w.Multiply(&y2, &curveD)
+	w.Add(&w, new(fe.Element).One())
+
+	var x fe.Element
+	if wasSquare := x.SqrtRatio(&u, &w); !wasSquare {
+		return nil, errors.New("edwards: not a point on the curve")
+	}
+
+	if x.IsZero() && signBit {
+		return nil, errors.New("edwards: invalid encoding of -0")
+	}
+	if x.IsNegative() != signBit {
+		x.Negate(&x)
+	}
+
+	v.x.Set(&x)
+	v.y.Set(&y)
+	v.z.One()
+	v.t.Multiply(&x, &y)
+	return v, nil
+}
+
+// Equal reports whether v == u as group elements.
+func (v *Point) Equal(u *Point) bool {
+	var a, b fe.Element
+	a.Multiply(&v.x, &u.z)
+	b.Multiply(&u.x, &v.z)
+	if !a.Equal(&b) {
+		return false
+	}
+	a.Multiply(&v.y, &u.z)
+	b.Multiply(&u.y, &v.z)
+	return a.Equal(&b)
+}
+
+// IsIdentity reports whether v is the neutral element.
+func (v *Point) IsIdentity() bool {
+	return v.Equal(NewIdentityPoint())
+}
+
+// Add sets v = p + q and returns v. The formulas are strongly unified:
+// they are correct for p == q as well.
+func (v *Point) Add(p, q *Point) *Point {
+	var a, b, c, d, e, f, g, h fe.Element
+	var t1, t2 fe.Element
+
+	t1.Subtract(&p.y, &p.x) // Y1 - X1
+	t2.Subtract(&q.y, &q.x) // Y2 - X2
+	a.Multiply(&t1, &t2)
+
+	t1.Add(&p.y, &p.x) // Y1 + X1
+	t2.Add(&q.y, &q.x) // Y2 + X2
+	b.Multiply(&t1, &t2)
+
+	c.Multiply(&p.t, &q.t)
+	c.Multiply(&c, &curveD2)
+
+	d.Multiply(&p.z, &q.z)
+	d.Add(&d, &d)
+
+	e.Subtract(&b, &a)
+	f.Subtract(&d, &c)
+	g.Add(&d, &c)
+	h.Add(&b, &a)
+
+	v.x.Multiply(&e, &f)
+	v.y.Multiply(&g, &h)
+	v.t.Multiply(&e, &h)
+	v.z.Multiply(&f, &g)
+	return v
+}
+
+// Double sets v = 2*p and returns v.
+func (v *Point) Double(p *Point) *Point {
+	return v.Add(p, p)
+}
+
+// Negate sets v = -p and returns v.
+func (v *Point) Negate(p *Point) *Point {
+	v.x.Negate(&p.x)
+	v.y.Set(&p.y)
+	v.z.Set(&p.z)
+	v.t.Negate(&p.t)
+	return v
+}
+
+// Subtract sets v = p - q and returns v.
+func (v *Point) Subtract(p, q *Point) *Point {
+	var negQ Point
+	negQ.Negate(q)
+	return v.Add(p, &negQ)
+}
+
+// MultByCofactor sets v = 8*p and returns v.
+func (v *Point) MultByCofactor(p *Point) *Point {
+	v.Double(p)
+	v.Double(v)
+	return v.Double(v)
+}
+
+// IsSmallOrder reports whether p is in the small-order (8-torsion)
+// subgroup, i.e. whether 8*p is the identity.
+func (p *Point) IsSmallOrder() bool {
+	var v Point
+	v.MultByCofactor(p)
+	return v.IsIdentity()
+}
+
+// ScalarMult sets v = s*q where s is interpreted as a 256-bit
+// little-endian integer (it need not be reduced mod the group order),
+// and returns v. Variable time.
+func (v *Point) ScalarMult(s *Scalar, q *Point) *Point {
+	sb := s.Bytes()
+	return v.scalarMultBytes(sb[:], q)
+}
+
+func (v *Point) scalarMultBytes(sb []byte, q *Point) *Point {
+	acc := NewIdentityPoint()
+	base := *q
+	started := false
+	// MSB-first double-and-add.
+	for i := len(sb) - 1; i >= 0; i-- {
+		for bit := 7; bit >= 0; bit-- {
+			if started {
+				acc.Double(acc)
+			}
+			if (sb[i]>>uint(bit))&1 == 1 {
+				acc.Add(acc, &base)
+				started = true
+			}
+		}
+	}
+	return v.Set(acc)
+}
+
+// ScalarBaseMult sets v = s*B and returns v.
+func (v *Point) ScalarBaseMult(s *Scalar) *Point {
+	return v.ScalarMult(s, &basePoint)
+}
+
+// VarTimeDoubleScalarBaseMult sets v = a*A + b*B and returns v.
+func (v *Point) VarTimeDoubleScalarBaseMult(a *Scalar, pA *Point, b *Scalar) *Point {
+	var t1, t2 Point
+	t1.ScalarMult(a, pA)
+	t2.ScalarBaseMult(b)
+	return v.Add(&t1, &t2)
+}

@@ -1,0 +1,62 @@
+package crypto
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Key files hold a user's 32-byte identity seed — the only private
+// state an Algorand user keeps (§1). The format is one hex line with a
+// tag, restrictive permissions, nothing else:
+//
+//	algorand-seed:9f86d081884c7d65...
+const keyFileTag = "algorand-seed:"
+
+// SaveSeed writes a seed to path with 0600 permissions, refusing to
+// overwrite an existing file (losing a key means losing the money).
+func SaveSeed(path string, seed Seed) error {
+	if _, err := os.Stat(path); err == nil {
+		return fmt.Errorf("crypto: key file %s already exists", path)
+	}
+	data := keyFileTag + hex.EncodeToString(seed[:]) + "\n"
+	return os.WriteFile(path, []byte(data), 0o600)
+}
+
+// LoadSeed reads a seed written by SaveSeed.
+func LoadSeed(path string) (Seed, error) {
+	var seed Seed
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return seed, err
+	}
+	line := strings.TrimSpace(string(data))
+	if !strings.HasPrefix(line, keyFileTag) {
+		return seed, errors.New("crypto: not an algorand key file")
+	}
+	raw, err := hex.DecodeString(strings.TrimPrefix(line, keyFileTag))
+	if err != nil {
+		return seed, fmt.Errorf("crypto: corrupt key file: %w", err)
+	}
+	if len(raw) != len(seed) {
+		return seed, fmt.Errorf("crypto: key file holds %d bytes, want %d", len(raw), len(seed))
+	}
+	copy(seed[:], raw)
+	return seed, nil
+}
+
+// RandomSeed returns a fresh seed from the OS entropy source.
+func RandomSeed() (Seed, error) {
+	var seed Seed
+	f, err := os.Open("/dev/urandom")
+	if err != nil {
+		return seed, err
+	}
+	defer f.Close()
+	if _, err := f.Read(seed[:]); err != nil {
+		return seed, err
+	}
+	return seed, nil
+}

@@ -1,0 +1,293 @@
+// Package vrf implements the elliptic-curve verifiable random function
+// ECVRF-EDWARDS25519-SHA512-TAI, following the construction of Goldberg
+// et al. that the Algorand paper cites [28] and that was later
+// standardized as RFC 9381 ciphersuite 3.
+//
+// A VRF keypair is derived exactly like an Ed25519 keypair (RFC 8032):
+// the secret scalar x is the clamped low half of SHA-512(seed) and the
+// public key is Y = x*B. On input alpha, Prove returns an 80-byte proof
+// pi; ProofToHash(pi) and Verify both yield the 64-byte pseudorandom
+// output beta. The crucial properties for Algorand's sortition are:
+//
+//   - Uniqueness: for a fixed public key and alpha there is exactly one
+//     beta that verifies (Gamma = x*H is a deterministic function).
+//   - Pseudorandomness: beta is indistinguishable from random without
+//     the secret key.
+//   - Public verifiability: anyone holding pi and the public key checks
+//     beta without interaction.
+package vrf
+
+import (
+	"crypto/ed25519"
+	"crypto/sha512"
+	"errors"
+
+	"algorand/internal/crypto/edwards"
+)
+
+const (
+	// ProofSize is the size of a VRF proof pi: Gamma (32) || c (16) || s (32).
+	ProofSize = 80
+	// OutputSize is the size of the VRF output beta.
+	OutputSize = 64
+	// PublicKeySize is the size of a VRF public key.
+	PublicKeySize = 32
+	// SeedSize is the size of the secret seed.
+	SeedSize = 32
+
+	suiteID       = 0x03 // ECVRF-EDWARDS25519-SHA512-TAI
+	domainEncode  = 0x01
+	domainChal    = 0x02
+	domainProof   = 0x03
+	domainBack    = 0x00
+	challengeSize = 16
+)
+
+// PublicKey is a VRF public key (a compressed edwards25519 point).
+type PublicKey []byte
+
+// PrivateKey holds the expanded VRF secret: the seed, the clamped secret
+// scalar, the nonce-derivation prefix, and the public key.
+type PrivateKey struct {
+	seed   []byte
+	x      edwards.Scalar
+	prefix [32]byte
+	pub    PublicKey
+}
+
+// GenerateKey derives a VRF keypair from a 32-byte seed. The derivation
+// matches Ed25519, so the same seed yields a VRF public key equal to the
+// Ed25519 public key.
+func GenerateKey(seed []byte) (*PrivateKey, error) {
+	if len(seed) != SeedSize {
+		return nil, errors.New("vrf: seed must be 32 bytes")
+	}
+	h := sha512.Sum512(seed)
+	priv := &PrivateKey{seed: append([]byte(nil), seed...)}
+	if _, err := priv.x.SetClampedBytes(h[:32]); err != nil {
+		return nil, err
+	}
+	copy(priv.prefix[:], h[32:])
+	var y edwards.Point
+	y.ScalarBaseMult(&priv.x)
+	enc := y.Bytes()
+	priv.pub = enc[:]
+	return priv, nil
+}
+
+// Public returns the VRF public key.
+func (sk *PrivateKey) Public() PublicKey {
+	return sk.pub
+}
+
+// Seed returns the seed the key was generated from.
+func (sk *PrivateKey) Seed() []byte {
+	return append([]byte(nil), sk.seed...)
+}
+
+// encodeToCurveTAI hashes alpha to a curve point using the
+// try-and-increment method with the public key as the salt.
+func encodeToCurveTAI(salt PublicKey, alpha []byte) (*edwards.Point, error) {
+	var p edwards.Point
+	for ctr := 0; ctr < 256; ctr++ {
+		h := sha512.New()
+		h.Write([]byte{suiteID, domainEncode})
+		h.Write(salt)
+		h.Write(alpha)
+		h.Write([]byte{byte(ctr), domainBack})
+		digest := h.Sum(nil)
+		if _, err := p.SetBytes(digest[:32]); err != nil {
+			continue
+		}
+		// Clear the cofactor so H is in the prime-order subgroup.
+		p.MultByCofactor(&p)
+		if p.IsIdentity() {
+			continue
+		}
+		return &p, nil
+	}
+	return nil, errors.New("vrf: encode-to-curve failed after 256 attempts")
+}
+
+// generateNonce derives the deterministic nonce k from the secret prefix
+// and the encoded input point, as in RFC 8032 / RFC 9381 §5.4.2.2.
+func (sk *PrivateKey) generateNonce(hBytes []byte) *edwards.Scalar {
+	h := sha512.New()
+	h.Write(sk.prefix[:])
+	h.Write(hBytes)
+	digest := h.Sum(nil)
+	var k edwards.Scalar
+	if _, err := k.SetUniformBytes(digest); err != nil {
+		panic("vrf: internal nonce error: " + err.Error())
+	}
+	return &k
+}
+
+// challenge computes the 16-byte challenge c from the five points.
+func challenge(points ...[]byte) *edwards.Scalar {
+	h := sha512.New()
+	h.Write([]byte{suiteID, domainChal})
+	for _, p := range points {
+		h.Write(p)
+	}
+	h.Write([]byte{domainBack})
+	digest := h.Sum(nil)
+
+	var cBytes [32]byte
+	copy(cBytes[:challengeSize], digest[:challengeSize])
+	var c edwards.Scalar
+	if _, err := c.SetCanonicalBytes(cBytes[:]); err != nil {
+		// A 128-bit value is always canonical mod l.
+		panic("vrf: internal challenge error: " + err.Error())
+	}
+	return &c
+}
+
+// Prove computes the VRF proof pi and output beta for input alpha.
+func (sk *PrivateKey) Prove(alpha []byte) (beta [OutputSize]byte, pi [ProofSize]byte, err error) {
+	hPoint, err := encodeToCurveTAI(sk.pub, alpha)
+	if err != nil {
+		return beta, pi, err
+	}
+	hBytes := hPoint.Bytes()
+
+	var gamma edwards.Point
+	gamma.ScalarMult(&sk.x, hPoint)
+	gammaBytes := gamma.Bytes()
+
+	k := sk.generateNonce(hBytes[:])
+	var u, v edwards.Point
+	u.ScalarBaseMult(k)
+	v.ScalarMult(k, hPoint)
+	uBytes := u.Bytes()
+	vBytes := v.Bytes()
+
+	c := challenge(sk.pub, hBytes[:], gammaBytes[:], uBytes[:], vBytes[:])
+
+	var s edwards.Scalar
+	s.MultiplyAdd(c, &sk.x, k)
+
+	copy(pi[:32], gammaBytes[:])
+	cb := c.Bytes()
+	copy(pi[32:48], cb[:challengeSize])
+	sb := s.Bytes()
+	copy(pi[48:], sb[:])
+
+	beta = gammaToHash(&gamma)
+	return beta, pi, nil
+}
+
+// gammaToHash computes beta from the Gamma point.
+func gammaToHash(gamma *edwards.Point) [OutputSize]byte {
+	var cg edwards.Point
+	cg.MultByCofactor(gamma)
+	enc := cg.Bytes()
+	h := sha512.New()
+	h.Write([]byte{suiteID, domainProof})
+	h.Write(enc[:])
+	h.Write([]byte{domainBack})
+	var beta [OutputSize]byte
+	copy(beta[:], h.Sum(nil))
+	return beta
+}
+
+// ProofToHash returns beta for a syntactically valid proof pi, without
+// verifying it against a public key. Use Verify for untrusted proofs.
+func ProofToHash(pi []byte) (beta [OutputSize]byte, err error) {
+	gamma, _, _, err := decodeProof(pi)
+	if err != nil {
+		return beta, err
+	}
+	return gammaToHash(gamma), nil
+}
+
+// decodeProof splits pi into its Gamma point, challenge and response.
+func decodeProof(pi []byte) (gamma *edwards.Point, c, s *edwards.Scalar, err error) {
+	if len(pi) != ProofSize {
+		return nil, nil, nil, errors.New("vrf: invalid proof length")
+	}
+	gamma = new(edwards.Point)
+	if _, err := gamma.SetBytes(pi[:32]); err != nil {
+		return nil, nil, nil, errors.New("vrf: invalid Gamma point: " + err.Error())
+	}
+	var cBytes [32]byte
+	copy(cBytes[:challengeSize], pi[32:48])
+	c = new(edwards.Scalar)
+	if _, err := c.SetCanonicalBytes(cBytes[:]); err != nil {
+		return nil, nil, nil, err
+	}
+	s = new(edwards.Scalar)
+	if _, err := s.SetCanonicalBytes(pi[48:80]); err != nil {
+		return nil, nil, nil, errors.New("vrf: non-canonical s")
+	}
+	return gamma, c, s, nil
+}
+
+// Verify checks proof pi for public key pk and input alpha. On success
+// it returns the VRF output beta.
+func Verify(pk PublicKey, alpha, pi []byte) (beta [OutputSize]byte, err error) {
+	if len(pk) != PublicKeySize {
+		return beta, errors.New("vrf: invalid public key length")
+	}
+	var y edwards.Point
+	if _, err := y.SetBytes(pk); err != nil {
+		return beta, errors.New("vrf: invalid public key: " + err.Error())
+	}
+	// Key validation: reject small-order public keys ("full validation"
+	// in RFC 9381 terms), which could otherwise make outputs predictable.
+	if y.IsSmallOrder() {
+		return beta, errors.New("vrf: small-order public key")
+	}
+
+	gamma, c, s, err := decodeProof(pi)
+	if err != nil {
+		return beta, err
+	}
+
+	hPoint, err := encodeToCurveTAI(pk, alpha)
+	if err != nil {
+		return beta, err
+	}
+	hBytes := hPoint.Bytes()
+
+	// U = s*B - c*Y
+	var cY, u edwards.Point
+	cY.ScalarMult(c, &y)
+	u.ScalarBaseMult(s)
+	u.Subtract(&u, &cY)
+
+	// V = s*H - c*Gamma
+	var sH, cGamma, v edwards.Point
+	sH.ScalarMult(s, hPoint)
+	cGamma.ScalarMult(c, gamma)
+	v.Subtract(&sH, &cGamma)
+
+	gammaBytes := gamma.Bytes()
+	uBytes := u.Bytes()
+	vBytes := v.Bytes()
+	cPrime := challenge(pk, hBytes[:], gammaBytes[:], uBytes[:], vBytes[:])
+
+	if !cPrime.Equal(c) {
+		return beta, errors.New("vrf: proof verification failed")
+	}
+	return gammaToHash(gamma), nil
+}
+
+// Ed25519PublicKeyMatches reports whether the VRF public key equals the
+// Ed25519 public key derived from the same seed; used in tests and to
+// document that one seed can serve both roles.
+func Ed25519PublicKeyMatches(seed []byte, pk PublicKey) bool {
+	if len(seed) != SeedSize {
+		return false
+	}
+	epk := ed25519.NewKeyFromSeed(seed).Public().(ed25519.PublicKey)
+	if len(pk) != len(epk) {
+		return false
+	}
+	for i := range pk {
+		if pk[i] != epk[i] {
+			return false
+		}
+	}
+	return true
+}

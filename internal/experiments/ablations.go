@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"algorand/internal/sim"
+)
+
+// AblationResult compares a design choice on and off.
+type AblationResult struct {
+	Name     string
+	Baseline LatencyPoint
+	Ablated  LatencyPoint
+	// ExtraBytesFraction is ablated/baseline total network bytes.
+	ExtraBytesFraction float64
+}
+
+// AblatePriorityGossip measures the §6 priority pre-gossip: without the
+// small priority announcements, every proposed block travels further
+// before being discarded, costing bandwidth and block-proposal latency.
+func AblatePriorityGossip(scale Scale) AblationResult {
+	n := scale.users(100)
+	run := func(disable bool) (LatencyPoint, int64) {
+		cfg := sim.DefaultConfig(n, scale.Rounds)
+		cfg.Seed = 99
+		c := sim.NewCluster(cfg)
+		if disable {
+			for _, nd := range c.Nodes {
+				nd.SetDisablePriorityGossip(true)
+			}
+		}
+		c.Run()
+		if err := c.AgreementCheck(); err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		final, empty := c.FinalityRate()
+		return LatencyPoint{
+			Users:     n,
+			Latency:   sim.Summarize(c.AllRoundLatencies(1, cfg.Rounds)),
+			FinalRate: final,
+			EmptyRate: empty,
+		}, c.Net.TotalBytes
+	}
+	base, baseBytes := run(false)
+	abl, ablBytes := run(true)
+	return AblationResult{
+		Name:               "priority-pre-gossip",
+		Baseline:           base,
+		Ablated:            abl,
+		ExtraBytesFraction: float64(ablBytes) / float64(baseBytes),
+	}
+}
+
+// AblateVoteNext3 disables Algorithm 8's vote-in-next-3-steps and runs
+// the §10.4 adversary: without the extra votes, nodes that finish a
+// step late rely on the common coin to catch up, increasing empty
+// rounds and latency tails.
+func AblateVoteNext3(scale Scale) AblationResult {
+	n := scale.users(100)
+	run := func(ablate bool) (LatencyPoint, int64) {
+		cfg := sim.DefaultConfig(n, scale.Rounds)
+		cfg.Seed = 77
+		cfg.Params.AblateNoVoteNext3 = ablate
+		c := sim.NewCluster(cfg)
+		c.MakeEquivocatingProposers(n / 5)
+		c.Run()
+		if err := c.AgreementCheck(); err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		final, empty := c.FinalityRate()
+		return LatencyPoint{
+			Users:     n,
+			Latency:   sim.Summarize(c.AllRoundLatencies(1, cfg.Rounds)),
+			FinalRate: final,
+			EmptyRate: empty,
+		}, c.Net.TotalBytes
+	}
+	base, bb := run(false)
+	abl, ab := run(true)
+	return AblationResult{
+		Name:               "vote-next-3-steps",
+		Baseline:           base,
+		Ablated:            abl,
+		ExtraBytesFraction: float64(ab) / float64(bb),
+	}
+}
+
+// AblateEquivocationDiscard compares the §10.4 discard-both policy with
+// keep-first under the equivocation attack: keep-first lets different
+// users adopt different versions of the attacker's block, sending more
+// rounds through the slow (empty-block) path.
+func AblateEquivocationDiscard(scale Scale) AblationResult {
+	n := scale.users(100)
+	run := func(keepFirst bool) (LatencyPoint, int64) {
+		cfg := sim.DefaultConfig(n, scale.Rounds)
+		cfg.Seed = 55
+		c := sim.NewCluster(cfg)
+		if keepFirst {
+			for _, nd := range c.Nodes {
+				nd.SetKeepFirstOnEquivocation(true)
+			}
+		}
+		c.MakeEquivocatingProposers(n / 5)
+		c.Run()
+		if err := c.AgreementCheck(); err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		final, empty := c.FinalityRate()
+		return LatencyPoint{
+			Users:     n,
+			Latency:   sim.Summarize(c.AllRoundLatencies(1, cfg.Rounds)),
+			FinalRate: final,
+			EmptyRate: empty,
+		}, c.Net.TotalBytes
+	}
+	base, bb := run(false)
+	abl, ab := run(true)
+	return AblationResult{
+		Name:               "equivocation-discard-both",
+		Baseline:           base,
+		Ablated:            abl,
+		ExtraBytesFraction: float64(ab) / float64(bb),
+	}
+}
+
+// CoinAblationResult reports the vote-splitting experiment.
+type CoinAblationResult struct {
+	WithCoin    []int // binary steps to consensus per trial
+	WithoutCoin []int
+	MaxSteps    int
+	// StuckWithout counts trials that hit MaxSteps without the coin.
+	StuckWithout int
+	StuckWith    int
+}
+
+// Mean returns the average steps of a trial set (MaxSteps for stuck).
+func mean(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return float64(s) / float64(len(xs))
+}
+
+// Summary renders the result.
+func (r CoinAblationResult) Summary() string {
+	return fmt.Sprintf("with coin: mean %.1f steps (%d/%d stuck); without: mean %.1f steps (%d/%d stuck)",
+		mean(r.WithCoin), r.StuckWith, len(r.WithCoin),
+		mean(r.WithoutCoin), r.StuckWithout, len(r.WithoutCoin))
+}
+
+// durationScale for the attack harness.
+const coinAttackLambda = 2 * time.Second

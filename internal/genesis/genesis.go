@@ -1,0 +1,150 @@
+// Package genesis implements the bootstrap ceremony for seed₀ (§8.3):
+// "the value of seed₀ specified in the genesis block is decided using
+// distributed random number generation [14], after the public keys and
+// weights for the initial set of participants are publicly known."
+//
+// We implement the classic commit–reveal protocol: every initial
+// participant commits to a random contribution, then reveals it, and
+// seed₀ is the hash of all revealed contributions. As long as at least
+// one participant is honest (contributes true randomness and keeps it
+// secret until the reveal phase), seed₀ is unpredictable to everyone —
+// including an adversary who chooses its contribution last. Commitments
+// are signed so contributions are attributable, and a participant who
+// refuses to reveal is excluded deterministically (all honest parties
+// observe the same reveal set at the ceremony deadline).
+package genesis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"algorand/internal/crypto"
+)
+
+// Contribution is one participant's secret randomness.
+type Contribution [32]byte
+
+// Commitment is the signed hash of a contribution, published in the
+// commit phase.
+type Commitment struct {
+	Participant crypto.PublicKey
+	Hash        crypto.Digest // H(participant || contribution)
+	Sig         []byte
+}
+
+// Reveal is the published contribution from the reveal phase.
+type Reveal struct {
+	Participant  crypto.PublicKey
+	Contribution Contribution
+}
+
+// Commit builds a participant's signed commitment for a contribution.
+func Commit(id crypto.Identity, c Contribution) Commitment {
+	pk := id.PublicKey()
+	h := crypto.HashBytes("genesis.commit", pk[:], c[:])
+	return Commitment{
+		Participant: pk,
+		Hash:        h,
+		Sig:         id.Sign(h[:]),
+	}
+}
+
+// VerifyCommitment checks the signature on a commitment.
+func VerifyCommitment(p crypto.Provider, cm Commitment) bool {
+	return p.VerifySig(cm.Participant, cm.Hash[:], cm.Sig)
+}
+
+// Ceremony aggregates commitments and reveals into seed₀.
+type Ceremony struct {
+	provider    crypto.Provider
+	commitments map[crypto.PublicKey]Commitment
+	reveals     map[crypto.PublicKey]Contribution
+	sealed      bool
+}
+
+// NewCeremony starts an empty ceremony.
+func NewCeremony(p crypto.Provider) *Ceremony {
+	return &Ceremony{
+		provider:    p,
+		commitments: make(map[crypto.PublicKey]Commitment),
+		reveals:     make(map[crypto.PublicKey]Contribution),
+	}
+}
+
+// AddCommitment records a commitment during the commit phase. It
+// rejects unsigned commitments and double-commits (a participant
+// changing its mind after seeing others' commitments).
+func (c *Ceremony) AddCommitment(cm Commitment) error {
+	if c.sealed {
+		return errors.New("genesis: commit phase is over")
+	}
+	if !VerifyCommitment(c.provider, cm) {
+		return errors.New("genesis: bad commitment signature")
+	}
+	if _, dup := c.commitments[cm.Participant]; dup {
+		return fmt.Errorf("genesis: %v committed twice", cm.Participant)
+	}
+	c.commitments[cm.Participant] = cm
+	return nil
+}
+
+// Seal ends the commit phase; reveals are accepted afterwards.
+func (c *Ceremony) Seal() {
+	c.sealed = true
+}
+
+// AddReveal records a revealed contribution, checking it against the
+// participant's commitment.
+func (c *Ceremony) AddReveal(r Reveal) error {
+	if !c.sealed {
+		return errors.New("genesis: reveal before commit phase ended")
+	}
+	cm, ok := c.commitments[r.Participant]
+	if !ok {
+		return fmt.Errorf("genesis: %v never committed", r.Participant)
+	}
+	want := crypto.HashBytes("genesis.commit", r.Participant[:], r.Contribution[:])
+	if want != cm.Hash {
+		return fmt.Errorf("genesis: %v revealed a different value than committed", r.Participant)
+	}
+	c.reveals[r.Participant] = r.Contribution
+	return nil
+}
+
+// Revealed returns how many participants have revealed.
+func (c *Ceremony) Revealed() int { return len(c.reveals) }
+
+// Seed computes seed₀ from the revealed contributions, in a canonical
+// (public-key-sorted) order so every observer derives the same value.
+// It requires at least one reveal. Participants who committed but never
+// revealed are simply excluded — withholding cannot bias the output
+// because the withholder fixed its contribution before seeing anyone
+// else's, and exclusion is observable by everyone.
+func (c *Ceremony) Seed() (crypto.Digest, error) {
+	if !c.sealed {
+		return crypto.Digest{}, errors.New("genesis: ceremony not sealed")
+	}
+	if len(c.reveals) == 0 {
+		return crypto.Digest{}, errors.New("genesis: no reveals")
+	}
+	pks := make([]crypto.PublicKey, 0, len(c.reveals))
+	for pk := range c.reveals {
+		pks = append(pks, pk)
+	}
+	sort.Slice(pks, func(i, j int) bool {
+		for b := range pks[i] {
+			if pks[i][b] != pks[j][b] {
+				return pks[i][b] < pks[j][b]
+			}
+		}
+		return false
+	})
+	parts := make([][]byte, 0, 2*len(pks))
+	for _, pk := range pks {
+		contrib := c.reveals[pk]
+		pkCopy := pk
+		parts = append(parts, pkCopy[:], append([]byte(nil), contrib[:]...))
+	}
+	return crypto.HashBytes("genesis.seed0", parts...), nil
+}

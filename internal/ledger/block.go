@@ -1,0 +1,116 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"time"
+
+	"algorand/internal/crypto"
+)
+
+// Block is one entry of the blockchain (§8.1): a list of transactions
+// plus the metadata BA⋆ needs — round number, the proposer's VRF-based
+// seed for a future round, the previous block's hash, and a timestamp.
+type Block struct {
+	Round     uint64
+	PrevHash  crypto.Digest
+	Timestamp time.Duration // virtual time at proposal
+
+	// Seed is the sortition seed contributed by this block (§5.2):
+	// either VRF_sk(seed_{r-1} || r) with SeedProof, or, for empty and
+	// invalid blocks, H(seed_{r-1} || r) with a nil proof.
+	Seed      crypto.Digest
+	SeedProof []byte
+
+	// Proposer identifies the block proposer; zero for empty blocks.
+	// ProposerProof is the proposer's sortition proof (§6).
+	Proposer      crypto.PublicKey
+	ProposerProof []byte
+
+	Txns []Transaction
+
+	// PayloadPadding models additional transaction bytes that are not
+	// materialized as Transaction values. The evaluation fills blocks to
+	// an exact size (e.g. 1 MByte); simulating every one of the ~7000
+	// payments in such a block as objects would add nothing, so blocks
+	// carry a handful of real transactions plus padding that counts
+	// toward WireSize only.
+	PayloadPadding int
+}
+
+// blockHeaderWireSize approximates the serialized metadata size.
+const blockHeaderWireSize = 8 + 32 + 8 + 32 + 80 + 32 + 80
+
+// WireSize returns the block's size on the network in bytes.
+func (b *Block) WireSize() int {
+	return blockHeaderWireSize + len(b.Txns)*TxWireSize + b.PayloadPadding
+}
+
+// Encode returns a deterministic binary encoding used for hashing.
+func (b *Block) Encode() []byte {
+	buf := make([]byte, 0, 256+len(b.Txns)*TxWireSize)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], b.Round)
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, b.PrevHash[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], uint64(b.Timestamp))
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, b.Seed[:]...)
+	buf = append(buf, byte(len(b.SeedProof)))
+	buf = append(buf, b.SeedProof...)
+	buf = append(buf, b.Proposer[:]...)
+	buf = append(buf, byte(len(b.ProposerProof)))
+	buf = append(buf, b.ProposerProof...)
+	binary.LittleEndian.PutUint64(tmp[:], uint64(len(b.Txns)))
+	buf = append(buf, tmp[:]...)
+	for i := range b.Txns {
+		tx := &b.Txns[i]
+		buf = append(buf, tx.SigningBytes()...)
+		buf = append(buf, tx.Sig...)
+	}
+	binary.LittleEndian.PutUint64(tmp[:], uint64(b.PayloadPadding))
+	buf = append(buf, tmp[:]...)
+	return buf
+}
+
+// Hash returns the block's hash, the value BA⋆ votes on.
+func (b *Block) Hash() crypto.Digest {
+	return crypto.HashBytes("algorand.block", b.Encode())
+}
+
+// IsEmpty reports whether this is an empty block (no proposer).
+func (b *Block) IsEmpty() bool {
+	return b.Proposer == (crypto.PublicKey{}) && len(b.Txns) == 0 && b.PayloadPadding == 0
+}
+
+// EmptyBlock constructs the canonical empty block for a round
+// ("Empty(round, H(ctx.last_block))" in Algorithm 7). Its seed is the
+// fallback H(prevSeed || round) so that every user derives the same
+// block, and hence the same hash, with no proposer involved.
+func EmptyBlock(round uint64, prevHash crypto.Digest, prevSeed crypto.Digest) *Block {
+	return &Block{
+		Round:    round,
+		PrevHash: prevHash,
+		Seed:     FallbackSeed(prevSeed, round),
+	}
+}
+
+// FallbackSeed computes seed_r = H(seed_{r-1} || r), used when a block
+// carries no valid VRF seed (§5.2).
+func FallbackSeed(prevSeed crypto.Digest, round uint64) crypto.Digest {
+	return crypto.HashUint64("algorand.seed.fallback", round, prevSeed[:])
+}
+
+// SeedAlpha returns the VRF input for the round-r seed, seed_{r-1} || r.
+func SeedAlpha(prevSeed crypto.Digest, round uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], round)
+	out := make([]byte, 0, 40)
+	out = append(out, prevSeed[:]...)
+	out = append(out, tmp[:]...)
+	return out
+}
+
+// SeedFromVRF derives the block seed from a proposer's VRF output.
+func SeedFromVRF(out crypto.VRFOutput) crypto.Digest {
+	return crypto.HashBytes("algorand.seed.vrf", out[:])
+}

@@ -1,0 +1,123 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"algorand/internal/crypto"
+	"algorand/internal/sortition"
+)
+
+// Vote is a committee member's signed BA⋆ message (Algorithm 4):
+// Signed_sk(round, step, sorthash, π, H(last_block), value), carried by
+// the gossip network and aggregated into certificates.
+type Vote struct {
+	Sender    crypto.PublicKey
+	Round     uint64
+	Step      uint64
+	SortHash  crypto.VRFOutput
+	SortProof []byte
+	PrevHash  crypto.Digest
+	Value     crypto.Digest
+	Sig       []byte
+}
+
+// VoteWireSize is a vote's serialized size: sender key, round, step,
+// VRF output and proof, two digests and a signature. About 300 bytes —
+// the paper's "small message" class.
+const VoteWireSize = 32 + 8 + 8 + 64 + 80 + 32 + 32 + 64
+
+// SigningBytes returns the canonical encoding covered by the signature.
+func (v *Vote) SigningBytes() []byte {
+	buf := make([]byte, 0, VoteWireSize)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v.Round)
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], v.Step)
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, v.SortHash[:]...)
+	buf = append(buf, byte(len(v.SortProof)))
+	buf = append(buf, v.SortProof...)
+	buf = append(buf, v.PrevHash[:]...)
+	buf = append(buf, v.Value[:]...)
+	return buf
+}
+
+// Sign fills in the signature.
+func (v *Vote) Sign(id crypto.Identity) {
+	v.Sig = id.Sign(v.SigningBytes())
+}
+
+// Certificate proves that BA⋆ committed Value in Round: an aggregate of
+// more than threshold committee votes from one step (§8.3). Final
+// certificates come from the final step and prove safety; tentative
+// ones come from the last BinaryBA⋆ step and prove the consensus value.
+type Certificate struct {
+	Round uint64
+	Step  uint64
+	Value crypto.Digest
+	Final bool
+	Votes []Vote
+}
+
+// WireSize returns the certificate's serialized size in bytes. With the
+// paper's parameters (τ_step=2000, T=0.685, ~1370 votes needed) this
+// comes to roughly 300 KBytes, matching §10.3.
+func (c *Certificate) WireSize() int {
+	return 8 + 8 + 32 + 1 + len(c.Votes)*VoteWireSize
+}
+
+// Verify checks the certificate under the committee configuration of
+// its round: every vote must be validly signed, carry a valid sortition
+// proof for (seed, role committee/round/step), vote for c.Value chained
+// to prevHash, and senders must be distinct; the verified sub-user vote
+// weights must exceed threshold (⌊T·τ⌋, so "more than" per the paper).
+func (c *Certificate) Verify(
+	p crypto.Provider,
+	seed crypto.Digest,
+	weights map[crypto.PublicKey]uint64,
+	totalWeight uint64,
+	tau uint64,
+	threshold uint64,
+	prevHash crypto.Digest,
+) error {
+	if len(c.Votes) == 0 {
+		return errors.New("ledger: empty certificate")
+	}
+	role := sortition.Role{Kind: sortition.RoleCommittee, Round: c.Round, Step: c.Step}
+	seen := make(map[crypto.PublicKey]bool, len(c.Votes))
+	var votes uint64
+	for i := range c.Votes {
+		v := &c.Votes[i]
+		if v.Round != c.Round || v.Step != c.Step {
+			return fmt.Errorf("ledger: vote %d for wrong round/step", i)
+		}
+		if v.Value != c.Value {
+			return fmt.Errorf("ledger: vote %d for wrong value", i)
+		}
+		if v.PrevHash != prevHash {
+			return fmt.Errorf("ledger: vote %d extends wrong chain", i)
+		}
+		if seen[v.Sender] {
+			return fmt.Errorf("ledger: duplicate voter %v", v.Sender)
+		}
+		seen[v.Sender] = true
+		if !p.VerifySig(v.Sender, v.SigningBytes(), v.Sig) {
+			return fmt.Errorf("ledger: bad signature from %v", v.Sender)
+		}
+		out, j := sortition.Verify(p, v.Sender, v.SortProof, seed[:], role,
+			tau, weights[v.Sender], totalWeight)
+		if j == 0 {
+			return fmt.Errorf("ledger: voter %v not selected", v.Sender)
+		}
+		if out != v.SortHash {
+			return fmt.Errorf("ledger: voter %v sortition hash mismatch", v.Sender)
+		}
+		votes += j
+	}
+	if votes <= threshold {
+		return fmt.Errorf("ledger: certificate has %d votes, need > %d", votes, threshold)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+// Package ledger implements Algorand's transaction log: payments,
+// blocks (§8.1), the seed chain that drives sortition (§5.2-5.3),
+// account/weight tracking, block certificates, and the sharded
+// block/certificate store (§8.3).
+package ledger
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"algorand/internal/crypto"
+)
+
+// Transaction is a payment signed by the sender's key, transferring
+// money from one public key to another (§4). Nonce is the sender's
+// per-account sequence number and provides replay protection.
+type Transaction struct {
+	From   crypto.PublicKey
+	To     crypto.PublicKey
+	Amount uint64
+	Nonce  uint64
+	Sig    []byte
+}
+
+// WireSize is the serialized size of a transaction on the network,
+// used for block-size accounting: two keys, amount, nonce, signature.
+const TxWireSize = 32 + 32 + 8 + 8 + 64
+
+// SigningBytes returns the canonical byte encoding that is signed.
+func (tx *Transaction) SigningBytes() []byte {
+	buf := make([]byte, 0, 80)
+	buf = append(buf, tx.From[:]...)
+	buf = append(buf, tx.To[:]...)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], tx.Amount)
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], tx.Nonce)
+	buf = append(buf, tmp[:]...)
+	return buf
+}
+
+// ID returns the transaction's unique identifier.
+func (tx *Transaction) ID() crypto.Digest {
+	return crypto.HashBytes("algorand.tx", tx.SigningBytes())
+}
+
+// Sign fills in the signature using the sender's identity.
+func (tx *Transaction) Sign(id crypto.Identity) {
+	tx.Sig = id.Sign(tx.SigningBytes())
+}
+
+// VerifySig checks the transaction signature.
+func (tx *Transaction) VerifySig(p crypto.Provider) bool {
+	return p.VerifySig(tx.From, tx.SigningBytes(), tx.Sig)
+}
+
+// Balances tracks every account's money and per-account nonces. The
+// total money supply W is maintained incrementally because sortition
+// divides by it constantly.
+type Balances struct {
+	Money map[crypto.PublicKey]uint64
+	Nonce map[crypto.PublicKey]uint64
+	Total uint64
+}
+
+// NewBalances builds the genesis account state.
+func NewBalances(initial map[crypto.PublicKey]uint64) *Balances {
+	b := &Balances{
+		Money: make(map[crypto.PublicKey]uint64, len(initial)),
+		Nonce: make(map[crypto.PublicKey]uint64, len(initial)),
+	}
+	for pk, amt := range initial {
+		b.Money[pk] = amt
+		b.Total += amt
+	}
+	return b
+}
+
+// Clone returns a deep copy, used for per-round weight snapshots.
+func (b *Balances) Clone() *Balances {
+	c := &Balances{
+		Money: make(map[crypto.PublicKey]uint64, len(b.Money)),
+		Nonce: make(map[crypto.PublicKey]uint64, len(b.Nonce)),
+		Total: b.Total,
+	}
+	for pk, amt := range b.Money {
+		c.Money[pk] = amt
+	}
+	for pk, n := range b.Nonce {
+		c.Nonce[pk] = n
+	}
+	return c
+}
+
+// Weight returns the sortition weight (account balance) of pk.
+func (b *Balances) Weight(pk crypto.PublicKey) uint64 {
+	return b.Money[pk]
+}
+
+// CheckTx validates tx against the current state without applying it.
+func (b *Balances) CheckTx(tx *Transaction) error {
+	if tx.Amount == 0 {
+		return errors.New("ledger: zero-amount transaction")
+	}
+	if b.Money[tx.From] < tx.Amount {
+		return fmt.Errorf("ledger: insufficient balance %d < %d", b.Money[tx.From], tx.Amount)
+	}
+	if tx.Nonce != b.Nonce[tx.From] {
+		return fmt.Errorf("ledger: bad nonce %d, want %d", tx.Nonce, b.Nonce[tx.From])
+	}
+	return nil
+}
+
+// ApplyTx validates and applies tx.
+func (b *Balances) ApplyTx(tx *Transaction) error {
+	if err := b.CheckTx(tx); err != nil {
+		return err
+	}
+	b.Money[tx.From] -= tx.Amount
+	b.Money[tx.To] += tx.Amount
+	b.Nonce[tx.From]++
+	return nil
+}

@@ -1,0 +1,433 @@
+// Package network simulates Algorand's gossip network (§4, §8.4) on the
+// vtime runtime: each user picks a small set of random peers (weighted
+// by money to resist pollution attacks), signs every message, validates
+// before relaying, never relays the same message twice, and relays at
+// most one message per (sender, round, step).
+//
+// The transport model reproduces the paper's evaluation setup (§10):
+// per-process bandwidth caps (20 Mbit/s), inter-city propagation
+// latency with jitter, and optionally a shared per-VM NIC for the
+// Figure 6 bottleneck experiment. Message transmission serializes on
+// the sender's uplink — gossiping a 1 MB block to four peers costs four
+// back-to-back transmissions — and on the receiver's downlink, which is
+// what makes block propagation time grow linearly with block size
+// (Figure 7).
+package network
+
+import (
+	"math/rand"
+	"time"
+
+	"algorand/internal/crypto"
+	"algorand/internal/vtime"
+)
+
+// Message is anything gossiped on the network.
+type Message interface {
+	// WireSize is the serialized size in bytes, for bandwidth modeling.
+	WireSize() int
+	// ID uniquely identifies the message for duplicate suppression.
+	ID() crypto.Digest
+	// LimitKey groups messages for the per-(sender,round,step) relay
+	// limit of §8.4; empty string disables the limit for this message.
+	LimitKey() string
+}
+
+// MultiRelay is an optional Message extension raising the relay limit
+// for a LimitKey above one — e.g. block announcements allow two per
+// proposer per round so that equivocation evidence still propagates.
+type MultiRelay interface {
+	RelayLimit() int
+}
+
+// Verdict is a node's decision about a received message.
+type Verdict struct {
+	// Relay: forward to our peers (after validation, §8.4).
+	Relay bool
+	// CPU is the modeled verification cost; it is charged to the node's
+	// CPU accounting and delays the node's subsequent processing.
+	CPU time.Duration
+}
+
+// Handler receives messages delivered to a node. It runs in scheduler
+// context and must not block; typical implementations verify the
+// message and enqueue it into vtime mailboxes for the node's process.
+type Handler interface {
+	HandleMessage(from int, m Message) Verdict
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(from int, m Message) Verdict
+
+// HandleMessage implements Handler.
+func (f HandlerFunc) HandleMessage(from int, m Message) Verdict {
+	return f(from, m)
+}
+
+// Config tunes the transport and gossip topology.
+type Config struct {
+	// Fanout is the number of outgoing gossip peers per node (paper: 4
+	// outgoing, ~8 total with incoming).
+	Fanout int
+	// UplinkBps / DownlinkBps cap each process's bandwidth (paper: 20
+	// Mbit/s per process).
+	UplinkBps   int64
+	DownlinkBps int64
+	// ProcsPerVM > 1 groups that many consecutive nodes onto one virtual
+	// machine sharing a single NIC (VMBps up/down), reproducing the
+	// Figure 6 bottleneck. Zero or one disables sharing.
+	ProcsPerVM int
+	VMBps      int64
+	// JitterFrac adds ±JitterFrac×latency of uniform jitter per message.
+	JitterFrac float64
+	// Seed drives all of the network's randomness.
+	Seed int64
+}
+
+// DefaultConfig matches the paper's evaluation setup.
+func DefaultConfig() Config {
+	return Config{
+		Fanout:      4,
+		UplinkBps:   20_000_000,
+		DownlinkBps: 20_000_000,
+		JitterFrac:  0.10,
+		Seed:        1,
+	}
+}
+
+// link models a bandwidth-limited queue (an uplink or downlink).
+type link struct {
+	bps  int64
+	free time.Duration // time at which the link becomes idle
+}
+
+// transmit reserves the link for msg starting no earlier than now and
+// returns the completion time.
+func (l *link) transmit(now time.Duration, bytes int) time.Duration {
+	start := now
+	if l.free > start {
+		start = l.free
+	}
+	tx := time.Duration(float64(bytes*8) / float64(l.bps) * float64(time.Second))
+	l.free = start + tx
+	return l.free
+}
+
+// endpoint is the per-node network state.
+type endpoint struct {
+	id    int
+	city  int
+	peers []int // outgoing connections
+	// neighbors is the union of outgoing and incoming connections; like
+	// the paper's prototype ("each user connects to 4 random peers,
+	// accepts incoming connections ... and gossips messages to all of
+	// them. This gives us 8 peers on average"), messages are relayed on
+	// every connection.
+	neighbors []int
+	handler   Handler
+
+	up, down *link // possibly shared across a VM
+
+	seen      map[crypto.Digest]bool
+	limitSeen map[string]int
+	cpuFree   time.Duration
+
+	// Stats
+	BytesSent     int64
+	BytesReceived int64
+	MsgsReceived  int64
+	DupsDropped   int64
+	CPUUsed       time.Duration
+}
+
+// Network is the simulated gossip network.
+type Network struct {
+	sim *vtime.Sim
+	cfg Config
+	rng *rand.Rand
+	eps []*endpoint
+	// weights drives money-weighted peer selection.
+	weights []uint64
+
+	// partition, when set, drops transfers for which it returns true.
+	partition func(from, to int) bool
+
+	// Global stats
+	TotalBytes int64
+	TotalMsgs  int64
+}
+
+// New creates a network of n nodes on sim. Handlers start nil; call
+// SetHandler before gossiping to a node.
+func New(sim *vtime.Sim, cfg Config, n int) *Network {
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 4
+	}
+	nw := &Network{
+		sim:     sim,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		weights: make([]uint64, n),
+	}
+	var vmUp, vmDown *link
+	for i := 0; i < n; i++ {
+		ep := &endpoint{
+			id:        i,
+			city:      i % NumCities,
+			seen:      make(map[crypto.Digest]bool),
+			limitSeen: make(map[string]int),
+		}
+		if cfg.ProcsPerVM > 1 {
+			if i%cfg.ProcsPerVM == 0 {
+				bps := cfg.VMBps
+				if bps == 0 {
+					bps = cfg.UplinkBps
+				}
+				vmUp = &link{bps: bps}
+				vmDown = &link{bps: bps}
+			}
+			ep.up, ep.down = vmUp, vmDown
+		} else {
+			ep.up = &link{bps: cfg.UplinkBps}
+			ep.down = &link{bps: cfg.DownlinkBps}
+		}
+		nw.weights[i] = 1
+		nw.eps = append(nw.eps, ep)
+	}
+	nw.ReshufflePeers()
+	return nw
+}
+
+// SetHandler installs the message handler for node id.
+func (nw *Network) SetHandler(id int, h Handler) {
+	nw.eps[id].handler = h
+}
+
+// SetWeights updates the money weights used for peer selection.
+func (nw *Network) SetWeights(w []uint64) {
+	copy(nw.weights, w)
+	nw.ReshufflePeers()
+}
+
+// ReshufflePeers re-draws every node's outgoing peers, weighted by
+// money (§4). The paper replaces gossip peers each round to heal
+// disconnected components (§8.4).
+func (nw *Network) ReshufflePeers() {
+	n := len(nw.eps)
+	if n <= 1 {
+		return
+	}
+	var total uint64
+	for _, w := range nw.weights {
+		total += w
+	}
+	for _, ep := range nw.eps {
+		k := nw.cfg.Fanout
+		if k > n-1 {
+			k = n - 1
+		}
+		ep.peers = ep.peers[:0]
+		chosen := map[int]bool{ep.id: true}
+		for len(ep.peers) < k {
+			var pick int
+			if total > 0 {
+				target := uint64(nw.rng.Int63n(int64(total)))
+				var acc uint64
+				for i, w := range nw.weights {
+					acc += w
+					if target < acc {
+						pick = i
+						break
+					}
+				}
+			} else {
+				pick = nw.rng.Intn(n)
+			}
+			if chosen[pick] {
+				// Fall back to uniform scanning to terminate even under
+				// extreme weight skew.
+				pick = nw.rng.Intn(n)
+				if chosen[pick] {
+					continue
+				}
+			}
+			chosen[pick] = true
+			ep.peers = append(ep.peers, pick)
+		}
+	}
+	// Build the undirected neighbor sets (outgoing ∪ incoming).
+	sets := make([]map[int]bool, n)
+	for i := range sets {
+		sets[i] = make(map[int]bool, 2*nw.cfg.Fanout)
+	}
+	for _, ep := range nw.eps {
+		for _, p := range ep.peers {
+			sets[ep.id][p] = true
+			sets[p][ep.id] = true
+		}
+	}
+	for _, ep := range nw.eps {
+		ep.neighbors = ep.neighbors[:0]
+		// Deterministic order.
+		for i := 0; i < n; i++ {
+			if sets[ep.id][i] {
+				ep.neighbors = append(ep.neighbors, i)
+			}
+		}
+	}
+}
+
+// Peers returns node id's current outgoing peers (for tests).
+func (nw *Network) Peers(id int) []int { return nw.eps[id].peers }
+
+// Neighbors returns node id's full relay set (outgoing ∪ incoming).
+func (nw *Network) Neighbors(id int) []int { return nw.eps[id].neighbors }
+
+// SetPartition installs a message filter: when it returns true for
+// (from, to), the transfer is silently dropped. Used to script network
+// partitions (weak synchrony, §3). Pass nil to heal.
+func (nw *Network) SetPartition(f func(from, to int) bool) {
+	nw.partition = f
+}
+
+// NumNodes returns the network size.
+func (nw *Network) NumNodes() int { return len(nw.eps) }
+
+// City returns the city a node is assigned to.
+func (nw *Network) City(id int) int { return nw.eps[id].city }
+
+// Gossip injects a message originated by node origin: it is sent to all
+// of origin's peers and relayed onward per the gossip rules.
+func (nw *Network) Gossip(origin int, m Message) {
+	ep := nw.eps[origin]
+	ep.seen[m.ID()] = true
+	if k := m.LimitKey(); k != "" {
+		ep.limitSeen[k]++
+	}
+	nw.relay(origin, -1, m)
+}
+
+// Unicast sends a message directly from one node to another (used for
+// catch-up fetches, not gossip). Delivery respects bandwidth/latency
+// but skips relay.
+func (nw *Network) Unicast(from, to int, m Message) {
+	nw.send(from, to, m)
+}
+
+// relay forwards m from node `from` to all its neighbors except `skip`.
+func (nw *Network) relay(from, skip int, m Message) {
+	ep := nw.eps[from]
+	for _, peer := range ep.neighbors {
+		if peer == skip {
+			continue
+		}
+		nw.send(from, peer, m)
+	}
+}
+
+// send models one point-to-point transfer and schedules delivery.
+func (nw *Network) send(from, to int, m Message) {
+	if nw.partition != nil && nw.partition(from, to) {
+		return
+	}
+	src, dst := nw.eps[from], nw.eps[to]
+	now := nw.sim.Now()
+	size := m.WireSize()
+
+	src.BytesSent += int64(size)
+	nw.TotalBytes += int64(size)
+
+	upDone := src.up.transmit(now, size)
+	lat := CityLatency(src.city, dst.city)
+	if nw.cfg.JitterFrac > 0 {
+		j := nw.cfg.JitterFrac * (2*nw.rng.Float64() - 1)
+		lat += time.Duration(float64(lat) * j)
+	}
+	arrive := upDone + lat
+	// Downlink reservation is made against its state at send time; with
+	// event-driven delivery this is a standard approximation.
+	deliverAt := dst.down.transmit(arrive, size)
+
+	nw.sim.After(deliverAt-now, func() {
+		nw.deliver(from, to, m)
+	})
+}
+
+// deliver runs at the receiver when the message finishes arriving.
+func (nw *Network) deliver(from, to int, m Message) {
+	ep := nw.eps[to]
+	ep.BytesReceived += int64(m.WireSize())
+	if ep.seen[m.ID()] {
+		ep.DupsDropped++
+		return
+	}
+	ep.seen[m.ID()] = true
+	ep.MsgsReceived++
+	nw.TotalMsgs++
+
+	var verdict Verdict
+	if ep.handler != nil {
+		verdict = ep.handler.HandleMessage(from, m)
+	}
+	// Model verification CPU: it occupies the node and delays its relay.
+	busyFrom := nw.sim.Now()
+	if ep.cpuFree > busyFrom {
+		busyFrom = ep.cpuFree
+	}
+	ep.cpuFree = busyFrom + verdict.CPU
+	ep.CPUUsed += verdict.CPU
+
+	if !verdict.Relay {
+		return
+	}
+	// Per-(sender,round,step) relay limit (§8.4). Messages may allow a
+	// higher limit (equivocation evidence needs two copies to travel).
+	if k := m.LimitKey(); k != "" {
+		limit := 1
+		if mr, ok := m.(MultiRelay); ok {
+			limit = mr.RelayLimit()
+		}
+		if ep.limitSeen[k] >= limit {
+			return
+		}
+		ep.limitSeen[k]++
+	}
+	relayDelay := ep.cpuFree - nw.sim.Now()
+	if relayDelay < 0 {
+		relayDelay = 0
+	}
+	nw.sim.After(relayDelay, func() {
+		nw.relay(to, from, m)
+	})
+}
+
+// Stats aggregates per-node statistics.
+type Stats struct {
+	BytesSent     int64
+	BytesReceived int64
+	MsgsReceived  int64
+	DupsDropped   int64
+	CPUUsed       time.Duration
+}
+
+// NodeStats returns node id's counters.
+func (nw *Network) NodeStats(id int) Stats {
+	ep := nw.eps[id]
+	return Stats{
+		BytesSent:     ep.BytesSent,
+		BytesReceived: ep.BytesReceived,
+		MsgsReceived:  ep.MsgsReceived,
+		DupsDropped:   ep.DupsDropped,
+		CPUUsed:       ep.CPUUsed,
+	}
+}
+
+// ResetSeen clears duplicate-suppression state; simulations call this
+// between rounds to bound memory (message IDs embed the round, so
+// cross-round collisions cannot occur).
+func (nw *Network) ResetSeen() {
+	for _, ep := range nw.eps {
+		ep.seen = make(map[crypto.Digest]bool)
+		ep.limitSeen = make(map[string]int)
+	}
+}

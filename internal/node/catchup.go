@@ -1,0 +1,182 @@
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"algorand/internal/agreement"
+	"algorand/internal/ledger"
+	"algorand/internal/network"
+	"algorand/internal/vtime"
+)
+
+// DebugCatchup, when set by tests, traces sync progress.
+var DebugCatchup func(id int, what string, chain uint64)
+
+// This file implements the networked side of §8.3 bootstrapping: a
+// node serves its archive to peers (ChainRequest → ChainReply), and a
+// fresh node can synchronize its ledger from the network, validating
+// every block against its certificate as it goes — the same trustless
+// validation ledger.CatchUp performs offline.
+
+// handleChainRequest serves up to MaxBlocks consecutive archived rounds.
+func (n *Node) handleChainRequest(msg *ChainRequest) network.Verdict {
+	max := msg.MaxBlocks
+	if max <= 0 || max > 64 {
+		max = 64
+	}
+	reply := &ChainReply{Recipient: msg.Requester, Nonce: msg.Nonce}
+	for r := msg.FromRound; r < msg.FromRound+uint64(max); r++ {
+		b, ok := n.store.Block(r)
+		if !ok {
+			break
+		}
+		c, ok := n.store.Cert(r)
+		if !ok {
+			break
+		}
+		reply.Blocks = append(reply.Blocks, b)
+		reply.Certs = append(reply.Certs, c)
+	}
+	if len(reply.Blocks) > 0 {
+		n.net.Unicast(n.ID, msg.Requester, reply)
+	}
+	return network.Verdict{Relay: false}
+}
+
+// committeeParams derives the certificate-verification configuration
+// from the node's protocol parameters.
+func (n *Node) committeeParams() ledger.CommitteeParams {
+	return ledger.CommitteeParams{
+		TauStep:        n.cfg.Params.TauStep,
+		StepThreshold:  n.cfg.Params.StepThreshold(),
+		TauFinal:       n.cfg.Params.TauFinal,
+		FinalThreshold: n.cfg.Params.FinalThreshold(),
+		MaxStep:        agreement.WireStepOfBinary(n.cfg.Params.MaxSteps),
+	}
+}
+
+// applyChainReply validates and commits a reply's blocks in order,
+// returning how many rounds advanced.
+func (n *Node) applyChainReply(reply *ChainReply) (int, error) {
+	if len(reply.Blocks) != len(reply.Certs) {
+		return 0, fmt.Errorf("catchup: %d blocks, %d certs", len(reply.Blocks), len(reply.Certs))
+	}
+	cp := n.committeeParams()
+	applied := 0
+	for i, b := range reply.Blocks {
+		if b.Round != n.ledger.NextRound() {
+			continue // stale or ahead; ignore
+		}
+		cert := reply.Certs[i]
+		if cert.Value != b.Hash() {
+			return applied, fmt.Errorf("catchup: round %d cert/block mismatch", b.Round)
+		}
+		seed := n.ledger.SortitionSeed(b.Round)
+		weights, total := n.ledger.SortitionWeights(b.Round)
+		tau, threshold := cp.TauStep, cp.StepThreshold
+		if cert.Final {
+			tau, threshold = cp.TauFinal, cp.FinalThreshold
+		} else if cp.MaxStep != 0 && cert.Step > cp.MaxStep {
+			return applied, fmt.Errorf("catchup: round %d absurd step %d", b.Round, cert.Step)
+		}
+		if err := cert.Verify(n.provider, seed, weights, total, tau, threshold, n.ledger.HeadHash()); err != nil {
+			return applied, fmt.Errorf("catchup: round %d cert: %w", b.Round, err)
+		}
+		if err := n.ledger.ValidateBlock(b, b.Timestamp+n.cfg.LedgerCfg.MaxTimestampSkew); err != nil {
+			return applied, fmt.Errorf("catchup: round %d block: %w", b.Round, err)
+		}
+		if err := n.ledger.Commit(b, cert); err != nil {
+			return applied, fmt.Errorf("catchup: round %d commit: %w", b.Round, err)
+		}
+		n.store.Put(b, cert)
+		applied++
+	}
+	return applied, nil
+}
+
+// SyncFromPeers catches the node's ledger up to the network (§8.3):
+// it repeatedly asks peers for the next run of blocks+certificates and
+// validates them from genesis state, stopping when no peer has more or
+// the deadline passes. It must run inside the node's scheduler; use
+// StartObserver for a convenient wrapper.
+func (n *Node) SyncFromPeers(p *vtime.Proc, deadline time.Duration) (uint64, error) {
+	return n.SyncFromPeersUntil(p, deadline, 0)
+}
+
+// SyncFromPeersUntil is SyncFromPeers with an optional target round:
+// once the ledger reaches it, the sync returns immediately instead of
+// probing peers until they run dry (target 0 = sync everything).
+func (n *Node) SyncFromPeersUntil(p *vtime.Proc, deadline time.Duration, target uint64) (uint64, error) {
+	peers := n.net.Neighbors(n.ID)
+	if len(peers) == 0 {
+		return 0, fmt.Errorf("catchup: no peers")
+	}
+	inbox := n.catchupInbox()
+	peerIdx := 0
+	stalls := 0
+	for p.Now() < deadline && stalls < 2*len(peers) {
+		if target > 0 && n.ledger.ChainLength() >= target {
+			break
+		}
+		n.reqNonce++
+		req := &ChainRequest{
+			FromRound: n.ledger.NextRound(),
+			MaxBlocks: 32,
+			Requester: n.ID,
+			Nonce:     n.reqNonce,
+		}
+		n.net.Unicast(n.ID, peers[peerIdx%len(peers)], req)
+		peerIdx++
+
+		m, ok := p.RecvTimeout(inbox, 2*time.Second)
+		if !ok {
+			if DebugCatchup != nil {
+				DebugCatchup(n.ID, "stall", n.ledger.ChainLength())
+			}
+			stalls++
+			continue
+		}
+		reply := m.(*ChainReply)
+		applied, err := n.applyChainReply(reply)
+		if DebugCatchup != nil {
+			DebugCatchup(n.ID, fmt.Sprintf("applied %d err %v", applied, err), n.ledger.ChainLength())
+		}
+		if err != nil {
+			return n.ledger.ChainLength(), err
+		}
+		if applied == 0 {
+			stalls++
+		} else {
+			stalls = 0
+		}
+	}
+	return n.ledger.ChainLength(), nil
+}
+
+// catchupInbox returns the mailbox chain replies are routed to.
+func (n *Node) catchupInbox() *vtime.Mailbox {
+	if n.chainReplies == nil {
+		n.chainReplies = n.sim.NewMailbox()
+	}
+	return n.chainReplies
+}
+
+// StartObserver spawns a process that synchronizes this node from its
+// peers and then reports via done (chain length reached, error).
+func (n *Node) StartObserver(deadline time.Duration, done func(uint64, error)) {
+	n.sim.Spawn(fmt.Sprintf("node-%d-catchup", n.ID), func(p *vtime.Proc) {
+		n.proc = p
+		got, err := n.SyncFromPeers(p, deadline)
+		if done != nil {
+			done(got, err)
+		}
+	})
+}
+
+// ApplyForgedReplyForTest exposes applyChainReply for adversarial
+// tests: it applies a (possibly forged) chain reply and returns the
+// validation outcome.
+func (n *Node) ApplyForgedReplyForTest(blocks []*ledger.Block, certs []*ledger.Certificate) (int, error) {
+	return n.applyChainReply(&ChainReply{Blocks: blocks, Certs: certs, Recipient: n.ID})
+}

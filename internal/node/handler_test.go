@@ -1,0 +1,301 @@
+package node
+
+// White-box tests of the node's gossip message handling: verdicts,
+// pull-based block fetching, pending-round buffering.
+
+import (
+	"testing"
+	"time"
+
+	"algorand/internal/agreement"
+	"algorand/internal/blockprop"
+	"algorand/internal/crypto"
+	"algorand/internal/ledger"
+	"algorand/internal/network"
+	"algorand/internal/params"
+	"algorand/internal/sortition"
+	"algorand/internal/vtime"
+)
+
+// handlerRig is a two-node network where node 0 is the unit under test.
+type handlerRig struct {
+	sim      *vtime.Sim
+	net      *network.Network
+	provider crypto.Provider
+	ids      []crypto.Identity
+	node     *Node
+	ctx      *agreement.Context
+}
+
+func newHandlerRig(t *testing.T, n int) *handlerRig {
+	r := &handlerRig{
+		sim:      vtime.New(),
+		provider: crypto.NewFast(),
+	}
+	r.net = network.New(r.sim, network.DefaultConfig(), n)
+	genesis := make(map[crypto.PublicKey]uint64)
+	for i := 0; i < n; i++ {
+		id := r.provider.NewIdentity(crypto.SeedFromUint64(uint64(i)))
+		r.ids = append(r.ids, id)
+		genesis[id.PublicKey()] = 100
+	}
+	prm := params.Default()
+	prm.TauProposer = 200 // everyone proposes (deterministic tests)
+	prm.TauStep = 200
+	prm.TauFinal = 200
+	cfg := Config{Params: prm, LedgerCfg: ledger.DefaultConfig()}
+	r.node = New(0, r.sim, r.net, r.provider, r.ids[0], cfg, genesis, crypto.HashBytes("g"))
+	r.ctx = agreement.NewContext(r.node.Ledger())
+	r.node.setContext(r.ctx)
+	return r
+}
+
+// makeProposal builds a valid proposal for the rig's round 1, proposed
+// by identity idx.
+func (r *handlerRig) makeProposal(t *testing.T, idx int) *blockprop.Proposal {
+	id := r.ids[idx]
+	out, proof := id.VRFProve(ledger.SeedAlpha(r.node.Ledger().PrevSeed(), 1))
+	block := &ledger.Block{
+		Round:     1,
+		PrevHash:  r.node.Ledger().HeadHash(),
+		Timestamp: time.Second,
+		Seed:      ledger.SeedFromVRF(out),
+		SeedProof: proof,
+		Proposer:  id.PublicKey(),
+	}
+	prop := blockprop.Propose(id, sortition.RoleProposer, r.ctx.Seed, 1,
+		r.node.cfg.Params.TauProposer, 100, r.ctx.TotalWeight, block)
+	if prop == nil {
+		t.Fatal("identity not selected; raise tau")
+	}
+	return prop
+}
+
+// makeVote builds a valid committee vote for (round, step) by identity idx.
+func (r *handlerRig) makeVote(t *testing.T, idx int, round, step uint64, value crypto.Digest) *ledger.Vote {
+	id := r.ids[idx]
+	role := sortition.Role{Kind: sortition.RoleCommittee, Round: round, Step: step}
+	res := sortition.Execute(id, r.ctx.Seed[:], role, r.node.cfg.Params.TauStep, 100, r.ctx.TotalWeight)
+	if res.J == 0 {
+		t.Fatal("identity not on committee; raise tau")
+	}
+	v := &ledger.Vote{
+		Sender:    id.PublicKey(),
+		Round:     round,
+		Step:      step,
+		SortHash:  res.Output,
+		SortProof: res.Proof,
+		PrevHash:  r.ctx.LastBlockHash,
+		Value:     value,
+	}
+	v.Sign(id)
+	return v
+}
+
+func TestHandlerVoteVerdicts(t *testing.T) {
+	r := newHandlerRig(t, 5)
+
+	good := r.makeVote(t, 1, 1, agreement.StepReduction1, crypto.HashBytes("v"))
+	if v := r.node.handleMessage(1, &VoteMsg{Vote: *good}); !v.Relay {
+		t.Fatal("valid vote not relayed")
+	}
+	if r.node.voteInbox(1, agreement.StepReduction1).Len() != 1 {
+		t.Fatal("valid vote not enqueued")
+	}
+
+	// Tampered signature: no relay, no enqueue.
+	bad := *good
+	bad.Value = crypto.HashBytes("other")
+	if v := r.node.handleMessage(1, &VoteMsg{Vote: bad}); v.Relay {
+		t.Fatal("tampered vote relayed")
+	}
+
+	// Wrong-chain vote counts as fork evidence, not a relayable message.
+	alien := r.makeVote(t, 2, 1, agreement.StepReduction1, crypto.HashBytes("v"))
+	alien.PrevHash = crypto.Digest{9}
+	alien.Sign(r.ids[2])
+	before := r.node.alienVotes
+	if v := r.node.handleMessage(2, &VoteMsg{Vote: *alien}); v.Relay {
+		t.Fatal("alien vote relayed")
+	}
+	if r.node.alienVotes != before+1 {
+		t.Fatal("alien vote not counted as fork evidence")
+	}
+
+	// Next-round votes are buffered for later validation.
+	r2 := r.ctx.Round + 1
+	future := &ledger.Vote{Sender: r.ids[3].PublicKey(), Round: r2, Step: 1}
+	if v := r.node.handleMessage(3, &VoteMsg{Vote: *future}); v.Relay {
+		t.Fatal("future vote relayed before validation")
+	}
+	if len(r.node.pendingMsgs[r2]) != 1 {
+		t.Fatal("future vote not buffered")
+	}
+}
+
+func TestHandlerAnnounceTriggersFetch(t *testing.T) {
+	r := newHandlerRig(t, 5)
+	prop := r.makeProposal(t, 1)
+
+	// Node 1 holds the block; its announce should make node 0 request it
+	// and, once the transfer arrives, re-announce.
+	requests := 0
+	transfers := 0
+	r.net.SetHandler(1, network.HandlerFunc(func(from int, m network.Message) network.Verdict {
+		if req, ok := m.(*BlockRequest); ok {
+			requests++
+			r.net.Unicast(1, req.Requester, &BlockGossip{M: prop.Block, Recipient: req.Requester})
+		}
+		return network.Verdict{}
+	}))
+	// Count announces reaching node 2 from node 0 (the re-announce).
+	r.net.SetHandler(2, network.HandlerFunc(func(from int, m network.Message) network.Verdict {
+		if _, ok := m.(*BlockAnnounce); ok && from == 0 {
+			transfers++
+		}
+		return network.Verdict{}
+	}))
+
+	r.sim.Spawn("driver", func(p *vtime.Proc) {
+		r.net.Unicast(1, 0, &BlockAnnounce{M: prop.Priority, Announcer: 1})
+		p.Sleep(10 * time.Second)
+	})
+	r.sim.Run(time.Minute)
+
+	if requests != 1 {
+		t.Fatalf("announcer served %d requests, want 1", requests)
+	}
+	if _, have := r.node.blockMsgs[prop.Block.Block.Hash()]; !have {
+		t.Fatal("block body not stored after transfer")
+	}
+	if _, ok := r.node.Ledger().BlockOfHash(prop.Block.Block.Hash()); !ok {
+		t.Fatal("block not registered as proposal")
+	}
+}
+
+func TestHandlerDoesNotRefetchHeldBlock(t *testing.T) {
+	r := newHandlerRig(t, 5)
+	prop := r.makeProposal(t, 1)
+	r.node.storeBlockMsg(&prop.Block)
+
+	requests := 0
+	r.net.SetHandler(1, network.HandlerFunc(func(from int, m network.Message) network.Verdict {
+		if _, ok := m.(*BlockRequest); ok {
+			requests++
+		}
+		return network.Verdict{}
+	}))
+	r.sim.Spawn("driver", func(p *vtime.Proc) {
+		r.net.Unicast(1, 0, &BlockAnnounce{M: prop.Priority, Announcer: 1})
+		p.Sleep(5 * time.Second)
+	})
+	r.sim.Run(time.Minute)
+	if requests != 0 {
+		t.Fatalf("node refetched a block it already holds (%d requests)", requests)
+	}
+}
+
+func TestHandlerServesBlockRequests(t *testing.T) {
+	r := newHandlerRig(t, 5)
+	prop := r.makeProposal(t, 1)
+	r.node.storeBlockMsg(&prop.Block)
+
+	served := 0
+	r.net.SetHandler(3, network.HandlerFunc(func(from int, m network.Message) network.Verdict {
+		if bg, ok := m.(*BlockGossip); ok {
+			if bg.M.Block.Hash() != prop.Block.Block.Hash() {
+				t.Error("served wrong block")
+			}
+			served++
+		}
+		return network.Verdict{}
+	}))
+	r.sim.Spawn("driver", func(p *vtime.Proc) {
+		r.net.Unicast(3, 0, &BlockRequest{Hash: prop.Block.Block.Hash(), Requester: 3, Nonce: 1})
+		// Requests for unknown blocks are ignored.
+		r.net.Unicast(3, 0, &BlockRequest{Hash: crypto.Digest{42}, Requester: 3, Nonce: 2})
+		p.Sleep(5 * time.Second)
+	})
+	r.sim.Run(time.Minute)
+	if served != 1 {
+		t.Fatalf("served %d transfers, want 1", served)
+	}
+}
+
+func TestHandlerPriorityRelayFilter(t *testing.T) {
+	r := newHandlerRig(t, 8)
+	a := r.makeProposal(t, 1)
+	b := r.makeProposal(t, 2)
+	hi, lo := a, b
+	if a.Priority.Priority.Less(b.Priority.Priority) {
+		hi, lo = b, a
+	}
+
+	// Higher priority first: relayed. Lower afterwards: not relayed.
+	if v := r.node.handleMessage(1, &PriorityGossip{M: hi.Priority}); !v.Relay {
+		t.Fatal("high-priority message not relayed")
+	}
+	if v := r.node.handleMessage(2, &PriorityGossip{M: lo.Priority}); v.Relay {
+		t.Fatal("low-priority message relayed after better one seen")
+	}
+	// Both still reach the waiter (discard is about relaying, §6).
+	if r.node.propInbox(1).Len() != 2 {
+		t.Fatalf("proposal inbox has %d arrivals, want 2", r.node.propInbox(1).Len())
+	}
+}
+
+func TestHandlerEquivocatingAnnouncesBothTravel(t *testing.T) {
+	r := newHandlerRig(t, 8)
+	prop := r.makeProposal(t, 1)
+	// Second variant: same credentials, different block hash, re-signed.
+	alt := prop.Priority
+	alt.BlockHash = crypto.HashBytes("other-block")
+	alt.Sig = r.ids[1].Sign(alt.SigningBytes())
+
+	if v := r.node.handleMessage(1, &PriorityGossip{M: prop.Priority}); !v.Relay {
+		t.Fatal("first variant not relayed")
+	}
+	// The equal-priority second variant must also relay so the network
+	// learns about the equivocation (§10.4).
+	if v := r.node.handleMessage(1, &PriorityGossip{M: alt}); !v.Relay {
+		t.Fatal("equivocation evidence not relayed")
+	}
+}
+
+func TestPendingVotesReplayOnRoundEntry(t *testing.T) {
+	r := newHandlerRig(t, 5)
+	// A vote for round 2 arrives while we are in round 1.
+	nextRoundVote := &ledger.Vote{
+		Sender: r.ids[1].PublicKey(),
+		Round:  2,
+		Step:   agreement.StepReduction1,
+	}
+	r.node.handleMessage(1, &VoteMsg{Vote: *nextRoundVote})
+	if len(r.node.pendingMsgs[2]) != 1 {
+		t.Fatal("not buffered")
+	}
+	// Advance to round 2: commit an empty block and install its context.
+	if err := r.node.Ledger().Commit(r.node.Ledger().NextEmptyBlock(), nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := agreement.NewContext(r.node.Ledger())
+	// Craft a now-valid vote for round 2 and buffer it too.
+	role := sortition.Role{Kind: sortition.RoleCommittee, Round: 2, Step: 1}
+	res := sortition.Execute(r.ids[1], ctx2.Seed[:], role, r.node.cfg.Params.TauStep, 100, ctx2.TotalWeight)
+	if res.J > 0 {
+		v := &ledger.Vote{
+			Sender: r.ids[1].PublicKey(), Round: 2, Step: 1,
+			SortHash: res.Output, SortProof: res.Proof,
+			PrevHash: ctx2.LastBlockHash, Value: crypto.HashBytes("x"),
+		}
+		v.Sign(r.ids[1])
+		r.node.pendingMsgs[2] = append(r.node.pendingMsgs[2], &VoteMsg{Vote: *v})
+	}
+	r.node.setContext(ctx2)
+	if len(r.node.pendingMsgs[2]) != 0 {
+		t.Fatal("pending buffer not drained")
+	}
+	if res.J > 0 && r.node.voteInbox(2, 1).Len() == 0 {
+		t.Fatal("valid buffered vote not replayed into inbox")
+	}
+}

@@ -1,0 +1,223 @@
+package node
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"algorand/internal/blockprop"
+	"algorand/internal/crypto"
+	"algorand/internal/ledger"
+)
+
+// VoteMsg wraps a BA⋆ vote for the gossip network.
+type VoteMsg struct {
+	Vote ledger.Vote
+}
+
+// WireSize implements network.Message.
+func (m *VoteMsg) WireSize() int { return ledger.VoteWireSize }
+
+// ID identifies the exact vote (sender, round, step, value): an
+// equivocating sender's two votes are distinct messages.
+func (m *VoteMsg) ID() crypto.Digest {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], m.Vote.Round)
+	binary.LittleEndian.PutUint64(buf[8:], m.Vote.Step)
+	return crypto.HashBytes("msg.vote", m.Vote.Sender[:], buf[:], m.Vote.Value[:])
+}
+
+// LimitKey enforces the §8.4 rule: relay at most one message per sender
+// per (round, step).
+func (m *VoteMsg) LimitKey() string {
+	return fmt.Sprintf("v|%x|%d|%d", m.Vote.Sender[:8], m.Vote.Round, m.Vote.Step)
+}
+
+// PriorityGossip wraps a §6 priority announcement for flooding.
+type PriorityGossip struct {
+	M blockprop.PriorityMsg
+}
+
+// WireSize implements network.Message.
+func (m *PriorityGossip) WireSize() int { return blockprop.PriorityMsgWireSize }
+
+// ID identifies the announcement, including the bound block hash so an
+// equivocator's two variants are distinct messages.
+func (m *PriorityGossip) ID() crypto.Digest {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], m.M.Round)
+	return crypto.HashBytes("msg.priority", m.M.Proposer[:], buf[:], m.M.Priority[:], m.M.BlockHash[:])
+}
+
+// LimitKey: priority messages are limited per proposer per round.
+func (m *PriorityGossip) LimitKey() string {
+	return fmt.Sprintf("p|%x|%d", m.M.Proposer[:8], m.M.Round)
+}
+
+// RelayLimit allows two variants per proposer so that equivocation
+// evidence (§10.4) reaches everyone even under the §8.4 relay limit.
+func (m *PriorityGossip) RelayLimit() int { return 2 }
+
+// BlockAnnounce tells neighbors "I hold this block" — the inv of the
+// pull-based block dissemination. Announcer is transport metadata (whom
+// to request from); the signed core is the proposer's PriorityMsg.
+type BlockAnnounce struct {
+	M         blockprop.PriorityMsg
+	Announcer int
+}
+
+// WireSize implements network.Message.
+func (m *BlockAnnounce) WireSize() int { return blockprop.PriorityMsgWireSize + 4 }
+
+// ID covers the announcer: each holder announces once.
+func (m *BlockAnnounce) ID() crypto.Digest {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], m.M.Round)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(m.Announcer))
+	return crypto.HashBytes("msg.announce", m.M.Proposer[:], buf[:], m.M.BlockHash[:])
+}
+
+// LimitKey: announcements are never relayed (each holder gossips its
+// own), so no limit is needed.
+func (m *BlockAnnounce) LimitKey() string { return "" }
+
+// BlockRequest asks an announcer for a block body (the getdata).
+type BlockRequest struct {
+	Hash      crypto.Digest
+	Requester int
+	Nonce     uint64
+}
+
+// WireSize implements network.Message.
+func (m *BlockRequest) WireSize() int { return 32 + 4 + 8 }
+
+// ID is unique per request.
+func (m *BlockRequest) ID() crypto.Digest {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(m.Requester))
+	binary.LittleEndian.PutUint64(buf[8:], m.Nonce)
+	return crypto.HashBytes("msg.blockreq", m.Hash[:], buf[:])
+}
+
+// LimitKey: requests are unicast, never relayed.
+func (m *BlockRequest) LimitKey() string { return "" }
+
+// BlockGossip carries a full block body, sent unicast in response to a
+// BlockRequest. It is never relayed; dissemination happens through the
+// announce/request cycle.
+type BlockGossip struct {
+	M blockprop.BlockMsg
+	// Recipient disambiguates transfers of the same block to different
+	// requesters for duplicate suppression.
+	Recipient int
+}
+
+// WireSize implements network.Message.
+func (m *BlockGossip) WireSize() int { return m.M.WireSize() }
+
+// ID covers the block hash, the proposal credentials, and the
+// recipient: the same body sent to two requesters is two transfers.
+func (m *BlockGossip) ID() crypto.Digest {
+	h := m.M.Block.Hash()
+	p := m.M.Proposer()
+	return crypto.HashUint64("msg.block", m.M.Round()<<16|uint64(m.Recipient), h[:], p[:])
+}
+
+// LimitKey: transfers are unicast, never relayed.
+func (m *BlockGossip) LimitKey() string { return "" }
+
+// TxMsg carries a payment submitted by a user (Figure 1).
+type TxMsg struct {
+	Tx ledger.Transaction
+}
+
+// WireSize implements network.Message.
+func (m *TxMsg) WireSize() int { return ledger.TxWireSize }
+
+// ID is the transaction ID.
+func (m *TxMsg) ID() crypto.Digest {
+	return crypto.HashBytes("msg.tx", m.Tx.SigningBytes())
+}
+
+// LimitKey: transactions are not rate-limited per step.
+func (m *TxMsg) LimitKey() string { return "" }
+
+// BlockFill is a bare committed-block body answering a resolveBlock
+// fallback request (§7.1 "obtain it from other users"); unlike
+// BlockGossip it carries no proposal credentials — the requester
+// already knows the agreed hash and validates against it.
+type BlockFill struct {
+	Block     *ledger.Block
+	Recipient int
+}
+
+// WireSize implements network.Message.
+func (m *BlockFill) WireSize() int { return m.Block.WireSize() }
+
+// ID covers block hash and recipient.
+func (m *BlockFill) ID() crypto.Digest {
+	h := m.Block.Hash()
+	return crypto.HashUint64("msg.blockfill", uint64(m.Recipient), h[:])
+}
+
+// LimitKey: unicast, never relayed.
+func (m *BlockFill) LimitKey() string { return "" }
+
+// ChainRequest asks a peer for committed blocks and certificates
+// starting at a round (the §8.3 catch-up protocol).
+type ChainRequest struct {
+	FromRound uint64
+	MaxBlocks int
+	Requester int
+	Nonce     uint64
+}
+
+// WireSize implements network.Message.
+func (m *ChainRequest) WireSize() int { return 8 + 8 + 4 + 8 }
+
+// ID is unique per request.
+func (m *ChainRequest) ID() crypto.Digest {
+	var buf [24]byte
+	binary.LittleEndian.PutUint64(buf[:8], m.FromRound)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(m.Requester))
+	binary.LittleEndian.PutUint64(buf[16:], m.Nonce)
+	return crypto.HashBytes("msg.chainreq", buf[:])
+}
+
+// LimitKey: unicast, never relayed.
+func (m *ChainRequest) LimitKey() string { return "" }
+
+// ChainReply returns a contiguous run of blocks with their §8.3
+// certificates. The receiver validates everything; nothing is trusted.
+type ChainReply struct {
+	Blocks    []*ledger.Block
+	Certs     []*ledger.Certificate
+	Recipient int
+	Nonce     uint64
+}
+
+// WireSize implements network.Message.
+func (m *ChainReply) WireSize() int {
+	total := 16
+	for _, b := range m.Blocks {
+		total += b.WireSize()
+	}
+	for _, c := range m.Certs {
+		total += c.WireSize()
+	}
+	return total
+}
+
+// ID is unique per reply.
+func (m *ChainReply) ID() crypto.Digest {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(m.Recipient))
+	binary.LittleEndian.PutUint64(buf[8:], m.Nonce)
+	first := uint64(0)
+	if len(m.Blocks) > 0 {
+		first = m.Blocks[0].Round
+	}
+	return crypto.HashUint64("msg.chainreply", first, buf[:])
+}
+
+// LimitKey: unicast, never relayed.
+func (m *ChainReply) LimitKey() string { return "" }

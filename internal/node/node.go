@@ -1,0 +1,829 @@
+// Package node assembles the full Algorand user (§4, Figure 1): it
+// collects pending transactions, runs block proposal (§6) and BA⋆ (§7)
+// each round, maintains the ledger with certificates (§8.1, §8.3),
+// validates and relays gossip traffic (§8.4), and falls back to the
+// fork-recovery protocol (§8.2) when consensus stalls.
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"algorand/internal/agreement"
+	"algorand/internal/blockprop"
+	"algorand/internal/crypto"
+	"algorand/internal/ledger"
+	"algorand/internal/network"
+	"algorand/internal/params"
+	"algorand/internal/sortition"
+	"algorand/internal/txpool"
+	"algorand/internal/vtime"
+)
+
+// Transport abstracts the gossip network under the node: the
+// deterministic simulator (internal/network.Network) or a real TCP
+// transport (internal/realnet.Transport). Both enforce the gossip rules
+// of §8.4 (validate-before-relay via the handler's verdicts, duplicate
+// suppression, relay limits).
+type Transport interface {
+	Gossip(origin int, m network.Message)
+	Unicast(from, to int, m network.Message)
+	SetHandler(id int, h network.Handler)
+	// Neighbors returns the node's current peer set (used as fetch
+	// targets when an agreed block is missing and no Fetch oracle is
+	// configured).
+	Neighbors(id int) []int
+}
+
+// Config assembles a node's dependencies.
+type Config struct {
+	Params    params.Params
+	LedgerCfg ledger.Config
+	// ChargeCrypto controls whether the modeled crypto CPU costs
+	// (provider.Costs()) are charged on message validation. With the
+	// Real provider, verification already consumes real CPU; the model
+	// costs are for Fast runs.
+	ChargeCrypto bool
+	// Fetch resolves a block hash this node never received (the paper's
+	// "obtain it from other users", §7.1); the simulation provides it.
+	Fetch func(h crypto.Digest) (*ledger.Block, bool)
+	// RecoveryInterval is how often nodes check for forks and kick off
+	// the §8.2 recovery protocol (the paper suggests e.g. hourly).
+	RecoveryInterval time.Duration
+	// MaxRecoveryAttempts bounds consecutive failed recovery BA⋆ tries.
+	MaxRecoveryAttempts int
+	// ShardCount configures §8.3 storage sharding (0 = store all).
+	ShardCount uint64
+	// DisablePriorityGossip suppresses the §6 small priority
+	// announcements (ablation: blocks must carry priorities alone).
+	DisablePriorityGossip bool
+	// KeepFirstOnEquivocation keeps the first block version from an
+	// equivocating proposer instead of discarding both (ablation of the
+	// §10.4 optimization).
+	KeepFirstOnEquivocation bool
+	// PipelineFinalStep overlaps the §7.4 final confirmation step with
+	// the next round: the node commits tentatively after BinaryBA⋆ and
+	// upgrades the block to final in the background when the final-step
+	// votes arrive. This is the §10.2 throughput optimization the paper
+	// describes ("the final step ... could be pipelined with the next
+	// round (although our prototype does not do so)").
+	PipelineFinalStep bool
+}
+
+// RoundStat records one round's timeline on this node, feeding the
+// §10 evaluation figures.
+type RoundStat struct {
+	Round           uint64
+	Start           time.Duration
+	PriorityLearned time.Duration // winning priority first seen (§10.5)
+	ProposalDone    time.Duration // highest-priority block in hand (Figure 7 bottom)
+	BinaryDone      time.Duration // BA⋆ without the final step (Figure 7 middle)
+	End             time.Duration // final step complete (Figure 7 top)
+	BinarySteps     int
+	Final           bool
+	Empty           bool
+	Equivocation    bool
+	Value           crypto.Digest
+}
+
+// Node is one simulated Algorand user.
+type Node struct {
+	ID       int
+	cfg      Config
+	provider crypto.Provider
+	identity crypto.Identity
+	ledger   *ledger.Ledger
+	pool     *txpool.Pool
+	store    *ledger.Store
+	net      Transport
+	sim      *vtime.Sim
+	proc     *vtime.Proc
+
+	// Current consensus context, nil between rounds. The handler uses it
+	// to validate incoming messages.
+	ctx *agreement.Context
+	// finalCtxs holds contexts of rounds whose pipelined final step is
+	// still in flight; the handler accepts their final-step votes.
+	finalCtxs map[uint64]*agreement.Context
+
+	// Vote inboxes per (round, step); proposal inboxes per round.
+	voteInboxes map[[2]uint64]*vtime.Mailbox
+	propInboxes map[uint64]*vtime.Mailbox
+
+	// Messages for the next round, buffered until we get there.
+	pendingMsgs map[uint64][]network.Message
+
+	// bestPriority tracks the best proposal priority seen per round, for
+	// the §6 relay filter.
+	bestPriority map[uint64]sortition.Priority
+
+	// blockMsgs holds block bodies (with credentials) we can serve to
+	// requesters, keyed by block hash; blockMsgRound drives GC.
+	blockMsgs     map[crypto.Digest]*blockprop.BlockMsg
+	blockMsgRound map[crypto.Digest]uint64
+	// requestedAt tracks outstanding block fetches for retry control.
+	requestedAt map[crypto.Digest]time.Duration
+	reqNonce    uint64
+	// chainReplies receives §8.3 catch-up replies (see catchup.go).
+	chainReplies *vtime.Mailbox
+
+	// alienVotes counts votes rejected for extending a different chain —
+	// the fork signal that triggers recovery participation (§8.2).
+	alienVotes int
+	// recovered counts completed recovery executions.
+	Recovered int
+
+	// Behavior hooks for adversarial nodes (see sim package). When
+	// Misbehave is non-nil it is invoked instead of the honest proposal
+	// logic once the node is selected as proposer.
+	Misbehave func(n *Node, prop *blockprop.Proposal)
+	// VoteSaboteur, when non-nil, maps each outgoing committee vote to
+	// the set of votes actually sent (e.g. double-voting for two values,
+	// §10.4). Extra votes must be re-signed by the saboteur.
+	VoteSaboteur func(n *Node, v *ledger.Vote) []*ledger.Vote
+
+	Stats []RoundStat
+	// StepTimes records (duration, timedOut) of every CountVotes call,
+	// for the §10.5 timeout-validation experiment.
+	StepTimes []StepTime
+	// StopAfterRound ends the main loop once the ledger reaches it.
+	StopAfterRound uint64
+}
+
+// StepTime is one CountVotes observation.
+type StepTime struct {
+	Step     uint64
+	Took     time.Duration
+	TimedOut bool
+}
+
+// New creates a node bound to slot id on the network. Call Start to
+// launch its process.
+func New(
+	id int,
+	sim *vtime.Sim,
+	net Transport,
+	provider crypto.Provider,
+	identity crypto.Identity,
+	cfg Config,
+	genesisAccounts map[crypto.PublicKey]uint64,
+	seed0 crypto.Digest,
+) *Node {
+	if cfg.RecoveryInterval == 0 {
+		cfg.RecoveryInterval = time.Hour
+	}
+	if cfg.MaxRecoveryAttempts == 0 {
+		cfg.MaxRecoveryAttempts = 8
+	}
+	shardCount := cfg.ShardCount
+	if shardCount == 0 {
+		shardCount = 1
+	}
+	n := &Node{
+		ID:            id,
+		cfg:           cfg,
+		provider:      provider,
+		identity:      identity,
+		ledger:        ledger.New(provider, cfg.LedgerCfg, genesisAccounts, seed0),
+		pool:          txpool.New(),
+		store:         ledger.NewStore(uint64(id), shardCount),
+		net:           net,
+		sim:           sim,
+		voteInboxes:   make(map[[2]uint64]*vtime.Mailbox),
+		propInboxes:   make(map[uint64]*vtime.Mailbox),
+		pendingMsgs:   make(map[uint64][]network.Message),
+		bestPriority:  make(map[uint64]sortition.Priority),
+		blockMsgs:     make(map[crypto.Digest]*blockprop.BlockMsg),
+		blockMsgRound: make(map[crypto.Digest]uint64),
+		requestedAt:   make(map[crypto.Digest]time.Duration),
+		finalCtxs:     make(map[uint64]*agreement.Context),
+	}
+	net.SetHandler(id, network.HandlerFunc(n.handleMessage))
+	return n
+}
+
+// Ledger exposes the node's ledger (read-only use).
+func (n *Node) Ledger() *ledger.Ledger { return n.ledger }
+
+// Store exposes the node's §8.3 archive.
+func (n *Node) Store() *ledger.Store { return n.store }
+
+// Pool exposes the node's transaction pool.
+func (n *Node) Pool() *txpool.Pool { return n.pool }
+
+// PublicKey returns the node's identity key.
+func (n *Node) PublicKey() crypto.PublicKey { return n.identity.PublicKey() }
+
+// SubmitTx adds a transaction locally and gossips it (Figure 1 step 1).
+func (n *Node) SubmitTx(tx *ledger.Transaction) {
+	n.pool.Add(tx)
+	n.net.Gossip(n.ID, &TxMsg{Tx: *tx})
+}
+
+func (n *Node) voteInbox(round, step uint64) *vtime.Mailbox {
+	k := [2]uint64{round, step}
+	mb, ok := n.voteInboxes[k]
+	if !ok {
+		mb = n.sim.NewMailbox()
+		n.voteInboxes[k] = mb
+	}
+	return mb
+}
+
+func (n *Node) propInbox(round uint64) *vtime.Mailbox {
+	mb, ok := n.propInboxes[round]
+	if !ok {
+		mb = n.sim.NewMailbox()
+		n.propInboxes[round] = mb
+	}
+	return mb
+}
+
+// costs returns the modeled CPU cost model if charging is enabled.
+func (n *Node) costs() crypto.CostModel {
+	if !n.cfg.ChargeCrypto {
+		return crypto.CostModel{}
+	}
+	return n.provider.Costs()
+}
+
+// handleMessage validates and routes one delivered gossip message. It
+// runs in scheduler context (§8.4: validate before relaying).
+func (n *Node) handleMessage(from int, m network.Message) network.Verdict {
+	cost := n.costs()
+	switch msg := m.(type) {
+	case *TxMsg:
+		if !msg.Tx.VerifySig(n.provider) {
+			return network.Verdict{Relay: false, CPU: cost.VerifySig}
+		}
+		n.pool.Add(&msg.Tx)
+		return network.Verdict{Relay: true, CPU: cost.VerifySig}
+
+	case *VoteMsg:
+		return n.handleVote(msg, cost)
+
+	case *PriorityGossip:
+		return n.handlePriority(msg, cost)
+
+	case *BlockAnnounce:
+		return n.handleAnnounce(msg, cost)
+
+	case *BlockRequest:
+		return n.handleBlockRequest(msg)
+
+	case *BlockGossip:
+		return n.handleBlock(msg, cost)
+
+	case *ChainRequest:
+		return n.handleChainRequest(msg)
+
+	case *ChainReply:
+		if msg.Recipient == n.ID {
+			n.catchupInbox().Send(msg)
+		}
+		return network.Verdict{Relay: false}
+
+	case *BlockFill:
+		// A bare block body answering a resolveBlock fallback request.
+		// Register it so the poller finds it; the hash it is stored
+		// under is computed from the contents, so a bogus fill cannot
+		// satisfy a request for a different block.
+		n.ledger.RegisterProposal(msg.Block)
+		return network.Verdict{Relay: false}
+	}
+	return network.Verdict{}
+}
+
+func (n *Node) handleVote(msg *VoteMsg, cost crypto.CostModel) network.Verdict {
+	cpu := cost.VerifySig + cost.VRFVerify
+	v := &msg.Vote
+	// Final-step votes of a round whose pipelined confirmation is still
+	// in flight are validated against that round's context.
+	if v.Step == agreement.StepFinal {
+		if fctx, ok := n.finalCtxs[v.Round]; ok {
+			nv := agreement.ProcessVote(n.provider, n.cfg.Params, fctx, v)
+			if nv == 0 {
+				return network.Verdict{Relay: false, CPU: cpu}
+			}
+			n.voteInbox(v.Round, v.Step).Send(agreement.ValidatedVote{Vote: *v, NumVotes: nv})
+			return network.Verdict{Relay: true, CPU: cpu}
+		}
+	}
+	ctx := n.ctx
+	if ctx == nil {
+		return network.Verdict{Relay: false}
+	}
+	switch {
+	case v.Round == ctx.Round:
+		if v.PrevHash != ctx.LastBlockHash {
+			// A vote extending some other chain: fork evidence (§8.2).
+			n.alienVotes++
+			return network.Verdict{Relay: false, CPU: cost.VerifySig}
+		}
+		nv := agreement.ProcessVote(n.provider, n.cfg.Params, ctx, v)
+		if nv == 0 {
+			return network.Verdict{Relay: false, CPU: cpu}
+		}
+		n.voteInbox(v.Round, v.Step).Send(agreement.ValidatedVote{Vote: *v, NumVotes: nv})
+		return network.Verdict{Relay: true, CPU: cpu}
+	case v.Round == ctx.Round+1:
+		// We are a step behind; buffer and validate when we get there.
+		n.pendingMsgs[v.Round] = append(n.pendingMsgs[v.Round], msg)
+		return network.Verdict{Relay: false}
+	case v.Round < ctx.Round:
+		// A straggler's vote. If it extends a block other than ours at
+		// that position, someone is stuck on a fork: recovery evidence
+		// (§8.2 "users passively monitor all BA⋆ votes ... and keep
+		// track of all forks").
+		if prev, ok := n.ledger.BlockAt(v.Round - 1); ok && prev.Hash() != v.PrevHash {
+			n.alienVotes++
+		}
+		return network.Verdict{Relay: false}
+	default:
+		return network.Verdict{Relay: false}
+	}
+}
+
+func (n *Node) handlePriority(msg *PriorityGossip, cost crypto.CostModel) network.Verdict {
+	cpu := cost.VerifySig + cost.VRFVerify
+	ctx := n.ctx
+	if ctx == nil {
+		return network.Verdict{Relay: false}
+	}
+	m := &msg.M
+	switch {
+	case m.Round == ctx.Round:
+		roleKind := n.proposerRoleKind(m.Round)
+		j := blockprop.VerifyPriority(n.provider, m, roleKind, ctx.Seed,
+			n.cfg.Params.TauProposer, ctx.Weights[m.Proposer], ctx.TotalWeight)
+		if j == 0 {
+			return network.Verdict{Relay: false, CPU: cpu}
+		}
+		n.propInbox(m.Round).Send(blockprop.NewArrivalPriority(m))
+		// §6: discard (do not relay) messages below the best priority
+		// seen so far. Equal priority still relays: an equivocator's two
+		// variants share one priority and both must travel (§10.4).
+		if best, ok := n.bestPriority[m.Round]; ok && best != m.Priority && !best.Less(m.Priority) {
+			return network.Verdict{Relay: false, CPU: cpu}
+		}
+		n.bestPriority[m.Round] = m.Priority
+		return network.Verdict{Relay: true, CPU: cpu}
+	case m.Round == ctx.Round+1:
+		n.pendingMsgs[m.Round] = append(n.pendingMsgs[m.Round], msg)
+		return network.Verdict{Relay: false}
+	default:
+		return network.Verdict{Relay: false}
+	}
+}
+
+// handleAnnounce processes an "I hold this block" message: after
+// credential checks it may trigger a fetch of the block body from the
+// announcer (pull-based dissemination).
+func (n *Node) handleAnnounce(msg *BlockAnnounce, cost crypto.CostModel) network.Verdict {
+	cpu := cost.VerifySig + cost.VRFVerify
+	ctx := n.ctx
+	if ctx == nil {
+		return network.Verdict{Relay: false}
+	}
+	m := &msg.M
+	switch {
+	case m.Round == ctx.Round:
+		roleKind := n.proposerRoleKind(m.Round)
+		j := blockprop.VerifyPriority(n.provider, m, roleKind, ctx.Seed,
+			n.cfg.Params.TauProposer, ctx.Weights[m.Proposer], ctx.TotalWeight)
+		if j == 0 {
+			return network.Verdict{Relay: false, CPU: cpu}
+		}
+		// The announce carries the same priority information as the
+		// flood; let the waiter see it (it may arrive first).
+		n.propInbox(m.Round).Send(blockprop.NewArrivalPriority(m))
+		if best, ok := n.bestPriority[m.Round]; !ok || best.Less(m.Priority) {
+			n.bestPriority[m.Round] = m.Priority
+		}
+		n.maybeFetch(m, msg.Announcer)
+		return network.Verdict{Relay: false, CPU: cpu}
+	case m.Round == ctx.Round+1:
+		n.pendingMsgs[m.Round] = append(n.pendingMsgs[m.Round], msg)
+		return network.Verdict{Relay: false}
+	default:
+		return network.Verdict{Relay: false}
+	}
+}
+
+// maybeFetch requests the announced block body if it is competitive
+// (at least ties the best known priority — ties matter for §10.4
+// equivocation detection) and not already held or recently requested.
+func (n *Node) maybeFetch(m *blockprop.PriorityMsg, announcer int) {
+	if _, have := n.blockMsgs[m.BlockHash]; have {
+		return
+	}
+	if best, ok := n.bestPriority[m.Round]; ok && m.Priority.Less(best) {
+		return
+	}
+	const retryAfter = 8 * time.Second
+	if at, ok := n.requestedAt[m.BlockHash]; ok && n.sim.Now()-at < retryAfter {
+		return
+	}
+	n.requestedAt[m.BlockHash] = n.sim.Now()
+	n.reqNonce++
+	n.net.Unicast(n.ID, announcer, &BlockRequest{
+		Hash:      m.BlockHash,
+		Requester: n.ID,
+		Nonce:     n.reqNonce,
+	})
+}
+
+// handleBlockRequest serves a block body we hold: either a current
+// proposal (with its announce credentials) or, for the §7.1 "obtain it
+// from other users" fallback, any committed block (sent without
+// credentials — the requester validates it against the agreed hash).
+func (n *Node) handleBlockRequest(msg *BlockRequest) network.Verdict {
+	if bm, ok := n.blockMsgs[msg.Hash]; ok {
+		n.net.Unicast(n.ID, msg.Requester, &BlockGossip{M: *bm, Recipient: msg.Requester})
+		return network.Verdict{Relay: false}
+	}
+	if b, ok := n.ledger.BlockOfHash(msg.Hash); ok {
+		n.net.Unicast(n.ID, msg.Requester, &BlockFill{Block: b, Recipient: msg.Requester})
+	}
+	return network.Verdict{Relay: false}
+}
+
+// handleBlock processes a block body arriving in response to one of our
+// requests: validate, store, hand to the waiter, and announce that we
+// now hold it so neighbors can fetch from us.
+func (n *Node) handleBlock(msg *BlockGossip, cost crypto.CostModel) network.Verdict {
+	m := &msg.M
+	// Verifying a block costs the credential check plus one signature
+	// verification per materialized transaction. PayloadPadding models
+	// unverified payload bytes (the paper's evaluation proposes 1 MB
+	// blocks of synthetic content; its measured CPU is dominated by
+	// vote/VRF verification, §10.3), so padding costs bandwidth but not
+	// CPU.
+	cpu := cost.VRFVerify + time.Duration(len(m.Block.Txns))*cost.VerifySig
+	ctx := n.ctx
+	if ctx == nil {
+		return network.Verdict{Relay: false}
+	}
+	round := m.Round()
+	switch {
+	case round == ctx.Round:
+		roleKind := n.proposerRoleKind(round)
+		if !blockprop.VerifyBlockMsg(n.provider, m, roleKind, ctx.Seed,
+			n.cfg.Params.TauProposer, ctx.Weights[m.Proposer()], ctx.TotalWeight) {
+			return network.Verdict{Relay: false, CPU: cost.VRFVerify}
+		}
+		h := m.Block.Hash()
+		if _, have := n.blockMsgs[h]; have {
+			return network.Verdict{Relay: false}
+		}
+		n.storeBlockMsg(m)
+		n.ledger.RegisterProposal(m.Block)
+		n.propInbox(round).Send(blockprop.NewArrivalBlock(m))
+		if best, ok := n.bestPriority[round]; !ok || best.Less(m.Priority()) {
+			n.bestPriority[round] = m.Priority()
+		}
+		// Re-announce: we can now serve this block.
+		n.net.Gossip(n.ID, &BlockAnnounce{M: m.Announce, Announcer: n.ID})
+		return network.Verdict{Relay: false, CPU: cpu}
+	case round == ctx.Round+1:
+		n.pendingMsgs[round] = append(n.pendingMsgs[round], msg)
+		return network.Verdict{Relay: false}
+	default:
+		return network.Verdict{Relay: false}
+	}
+}
+
+// storeBlockMsg remembers a block body (with credentials) for serving.
+func (n *Node) storeBlockMsg(m *blockprop.BlockMsg) {
+	h := m.Block.Hash()
+	cp := *m
+	n.blockMsgs[h] = &cp
+	n.blockMsgRound[h] = m.Round()
+}
+
+// proposerRoleKind returns the sortition role kind for proposals in a
+// round: the fork-recovery rounds use their own role.
+func (n *Node) proposerRoleKind(round uint64) string {
+	if round >= recoveryRoundBase {
+		return sortition.RoleForkProposer
+	}
+	return sortition.RoleProposer
+}
+
+// setContext installs the context the handler validates against and
+// replays buffered messages for that round.
+func (n *Node) setContext(ctx *agreement.Context) {
+	n.ctx = ctx
+	if ctx == nil {
+		return
+	}
+	buffered := n.pendingMsgs[ctx.Round]
+	delete(n.pendingMsgs, ctx.Round)
+	for _, m := range buffered {
+		n.handleMessage(-1, m) // relay verdict already settled at arrival
+	}
+	// Garbage-collect stale buffers and inboxes.
+	for r := range n.pendingMsgs {
+		if r < ctx.Round {
+			delete(n.pendingMsgs, r)
+		}
+	}
+	for k := range n.voteInboxes {
+		if k[0] < ctx.Round {
+			if _, pipelined := n.finalCtxs[k[0]]; pipelined && k[1] == agreement.StepFinal {
+				continue
+			}
+			delete(n.voteInboxes, k)
+		}
+	}
+	for r := range n.propInboxes {
+		if r < ctx.Round {
+			delete(n.propInboxes, r)
+		}
+	}
+	for r := range n.bestPriority {
+		if r < ctx.Round {
+			delete(n.bestPriority, r)
+		}
+	}
+	for h, r := range n.blockMsgRound {
+		if r < ctx.Round {
+			delete(n.blockMsgRound, h)
+			delete(n.blockMsgs, h)
+			delete(n.requestedAt, h)
+		}
+	}
+}
+
+// gossipVote publishes one of our votes and counts it locally (a
+// committee member processes its own message too).
+func (n *Node) gossipVote(v *ledger.Vote) {
+	votes := []*ledger.Vote{v}
+	if n.VoteSaboteur != nil {
+		votes = n.VoteSaboteur(n, v)
+	}
+	for _, vv := range votes {
+		msg := &VoteMsg{Vote: *vv}
+		n.net.Gossip(n.ID, msg)
+		if ctx := n.ctx; ctx != nil && vv.Round == ctx.Round {
+			if nv := agreement.ProcessVote(n.provider, n.cfg.Params, ctx, vv); nv > 0 {
+				n.voteInbox(vv.Round, vv.Step).Send(agreement.ValidatedVote{Vote: *vv, NumVotes: nv})
+			}
+		}
+	}
+}
+
+// env builds the BA⋆ environment for the current process.
+func (n *Node) env() *agreement.Env {
+	return &agreement.Env{
+		Proc:     n.proc,
+		Provider: n.provider,
+		Identity: n.identity,
+		Params:   n.cfg.Params,
+		Gossip:   n.gossipVote,
+		Inbox:    n.voteInbox,
+		StepTimer: func(step uint64, took time.Duration, timedOut bool) {
+			n.StepTimes = append(n.StepTimes, StepTime{Step: step, Took: took, TimedOut: timedOut})
+		},
+	}
+}
+
+// Start spawns the node's main process, which runs rounds until
+// StopAfterRound is reached (or forever if zero).
+func (n *Node) Start() {
+	n.sim.Spawn(fmt.Sprintf("node-%d", n.ID), func(p *vtime.Proc) {
+		n.proc = p
+		n.run()
+	})
+}
+
+func (n *Node) run() {
+	lastRecoveryCheck := time.Duration(0)
+	for !n.sim.Stopped() {
+		if n.StopAfterRound > 0 && n.ledger.NextRound() > n.StopAfterRound {
+			return
+		}
+		// §8.2: at every recovery checkpoint, if we have seen evidence of
+		// forks, run the recovery protocol before the next round.
+		checkpoint := n.proc.Now() / n.cfg.RecoveryInterval
+		if checkpoint > lastRecoveryCheck/n.cfg.RecoveryInterval {
+			if n.alienVotes > 0 || len(n.ledger.ForkTips()) > 1 {
+				n.recover()
+			}
+		}
+		lastRecoveryCheck = n.proc.Now()
+
+		if err := n.runRound(); err != nil {
+			// No consensus within MaxSteps: wait for the next recovery
+			// checkpoint (loosely synchronized clocks), then recover.
+			next := (n.proc.Now()/n.cfg.RecoveryInterval + 1) * n.cfg.RecoveryInterval
+			n.proc.Sleep(next - n.proc.Now())
+			n.recover()
+		}
+	}
+}
+
+// runRound executes one complete round: propose, wait, BA⋆, commit.
+func (n *Node) runRound() error {
+	round := n.ledger.NextRound()
+	stat := RoundStat{Round: round, Start: n.proc.Now()}
+	ctx := agreement.NewContext(n.ledger)
+	n.setContext(ctx)
+
+	// --- Block proposal (§6).
+	n.proposeIfSelected(ctx)
+	wres := blockprop.WaitOpts(n.proc, n.propInbox(round),
+		n.cfg.Params.LambdaPriority, n.cfg.Params.LambdaStepVar, n.cfg.Params.LambdaBlock,
+		n.cfg.KeepFirstOnEquivocation)
+	stat.Equivocation = wres.Equivocation
+	stat.PriorityLearned = wres.BestPriorityAt
+
+	target := n.ledger.NextEmptyBlock()
+	if wres.Block != nil {
+		if err := n.ledger.ValidateBlock(wres.Block, n.proc.Now()); err == nil {
+			target = wres.Block
+		}
+	}
+	stat.ProposalDone = n.proc.Now()
+
+	// --- Agreement (§7).
+	if n.cfg.PipelineFinalStep {
+		return n.finishRoundPipelined(ctx, target, stat)
+	}
+	out, err := agreement.Run(n.env(), ctx, target.Hash())
+	if err != nil {
+		n.setContext(nil)
+		return err
+	}
+	stat.BinaryDone = out.BinaryDone
+	stat.BinarySteps = out.BinarySteps
+	stat.Final = out.Final
+
+	// --- Resolve and commit.
+	block := n.resolveBlock(ctx, out.Value)
+	cert := out.Cert
+	if out.FinalCert != nil {
+		cert = out.FinalCert
+	}
+	if err := n.ledger.Commit(block, cert); err != nil {
+		// Agreed on a block we cannot apply: treat like no-consensus so
+		// recovery reconciles us (should not happen in honest runs).
+		n.setContext(nil)
+		return fmt.Errorf("commit: %w", err)
+	}
+	n.store.Put(block, cert)
+	n.pool.Committed(block, n.ledger.Balances())
+	stat.Empty = block.IsEmpty()
+	stat.Value = out.Value
+	stat.End = n.proc.Now()
+	n.Stats = append(n.Stats, stat)
+	n.setContext(nil)
+	return nil
+}
+
+// finishRoundPipelined commits after BinaryBA⋆ and runs the final
+// confirmation step in a background process, overlapped with the next
+// round (§10.2 pipelining).
+func (n *Node) finishRoundPipelined(ctx *agreement.Context, target *ledger.Block, stat RoundStat) error {
+	bres, err := agreement.RunWithoutFinal(n.env(), ctx, target.Hash())
+	if err != nil {
+		n.setContext(nil)
+		return err
+	}
+	stat.BinaryDone = n.proc.Now()
+	stat.BinarySteps = bres.Steps
+
+	block := n.resolveBlock(ctx, bres.Value)
+	if err := n.ledger.Commit(block, bres.Cert); err != nil {
+		n.setContext(nil)
+		return fmt.Errorf("commit: %w", err)
+	}
+	n.store.Put(block, bres.Cert)
+	n.pool.Committed(block, n.ledger.Balances())
+	stat.Empty = block.IsEmpty()
+	stat.Value = bres.Value
+	stat.End = n.proc.Now()
+	n.Stats = append(n.Stats, stat)
+	statIdx := len(n.Stats) - 1
+
+	// Keep accepting this round's final-step votes and count them in
+	// the background; the next round starts immediately.
+	n.finalCtxs[ctx.Round] = ctx
+	n.setContext(nil)
+	n.sim.Spawn(fmt.Sprintf("node-%d-final-%d", n.ID, ctx.Round), func(p *vtime.Proc) {
+		env := n.env()
+		env.Proc = p
+		cert := agreement.WaitFinal(env, ctx, bres.Value)
+		delete(n.finalCtxs, ctx.Round)
+		if cert == nil {
+			return
+		}
+		n.Stats[statIdx].Final = true
+		// Upgrade the ledger entry and the archive to final.
+		if err := n.ledger.Commit(block, cert); err == nil {
+			n.store.Put(block, cert)
+		}
+	})
+	return nil
+}
+
+// proposeIfSelected runs proposer sortition and gossips our proposal.
+func (n *Node) proposeIfSelected(ctx *agreement.Context) {
+	w := ctx.Weights[n.identity.PublicKey()]
+	if w == 0 {
+		return
+	}
+	block := n.buildBlock(ctx.Round)
+	prop := blockprop.Propose(n.identity, sortition.RoleProposer, ctx.Seed, ctx.Round,
+		n.cfg.Params.TauProposer, w, ctx.TotalWeight, block)
+	if prop == nil {
+		return
+	}
+	if n.Misbehave != nil {
+		n.Misbehave(n, prop)
+		return
+	}
+	n.ledger.RegisterProposal(block)
+	n.bestPriority[ctx.Round] = prop.Priority.Priority
+	n.storeBlockMsg(&prop.Block)
+	// Gossip the small priority message first (§6), then announce the
+	// block body for our neighbors to pull.
+	if !n.cfg.DisablePriorityGossip {
+		n.net.Gossip(n.ID, &PriorityGossip{M: prop.Priority})
+	}
+	n.net.Gossip(n.ID, &BlockAnnounce{M: prop.Priority, Announcer: n.ID})
+	// Self-delivery so our own Wait sees the proposal.
+	n.propInbox(ctx.Round).Send(blockprop.NewArrivalPriority(&prop.Priority))
+	n.propInbox(ctx.Round).Send(blockprop.NewArrivalBlock(&prop.Block))
+}
+
+// buildBlock assembles a block of pending transactions for a round,
+// with the §5.2 seed and padding up to the configured block size.
+func (n *Node) buildBlock(round uint64) *ledger.Block {
+	prevSeed := n.ledger.PrevSeed()
+	out, proof := n.identity.VRFProve(ledger.SeedAlpha(prevSeed, round))
+	txs := n.pool.Assemble(n.ledger.Balances(), n.cfg.Params.BlockSize)
+	b := &ledger.Block{
+		Round:     round,
+		PrevHash:  n.ledger.HeadHash(),
+		Timestamp: n.proc.Now(),
+		Seed:      ledger.SeedFromVRF(out),
+		SeedProof: proof,
+		Proposer:  n.identity.PublicKey(),
+		Txns:      txs,
+	}
+	if pad := n.cfg.Params.BlockSize - b.WireSize(); pad > 0 {
+		b.PayloadPadding = pad
+	}
+	return b
+}
+
+// resolveBlock maps an agreed hash to block contents (Algorithm 3's
+// BlockOfHash). If the block is unknown it is obtained "from other
+// users" (§7.1): via the Fetch oracle in simulations, or by requesting
+// it from gossip peers over the transport in real deployments.
+func (n *Node) resolveBlock(ctx *agreement.Context, h crypto.Digest) *ledger.Block {
+	if h == ctx.EmptyHash {
+		return n.ledger.NextEmptyBlock()
+	}
+	if b, ok := n.ledger.BlockOfHash(h); ok {
+		return b
+	}
+	if n.cfg.Fetch != nil {
+		if b, ok := n.cfg.Fetch(h); ok {
+			return b
+		}
+	}
+	// Ask every peer for the block and poll until it arrives (the
+	// committee agreed on it, so many honest users hold it).
+	deadline := n.proc.Now() + n.cfg.Params.LambdaBlock
+	for _, peer := range n.net.Neighbors(n.ID) {
+		n.reqNonce++
+		n.net.Unicast(n.ID, peer, &BlockRequest{Hash: h, Requester: n.ID, Nonce: n.reqNonce})
+	}
+	for n.proc.Now() < deadline {
+		n.proc.Sleep(250 * time.Millisecond)
+		if b, ok := n.ledger.BlockOfHash(h); ok {
+			return b
+		}
+	}
+	panic(fmt.Sprintf("node %d: cannot resolve agreed block %v", n.ID, h))
+}
+
+// AlienVotes reports how many fork-evidence votes this node has seen
+// since the last recovery (diagnostics).
+func (n *Node) AlienVotes() int { return n.alienVotes }
+
+// SetParams replaces the node's protocol parameters. Intended for test
+// harnesses that script scenario phases (e.g. restoring thresholds
+// after a partition window); the simulation's single-threaded execution
+// makes the swap race-free.
+func (n *Node) SetParams(p params.Params) { n.cfg.Params = p }
+
+// SetDisablePriorityGossip toggles the §6 priority pre-gossip
+// (ablation hook).
+func (n *Node) SetDisablePriorityGossip(v bool) { n.cfg.DisablePriorityGossip = v }
+
+// SetKeepFirstOnEquivocation toggles the §10.4 equivocation policy
+// (ablation hook).
+func (n *Node) SetKeepFirstOnEquivocation(v bool) { n.cfg.KeepFirstOnEquivocation = v }

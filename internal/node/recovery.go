@@ -1,0 +1,150 @@
+package node
+
+import (
+	"encoding/binary"
+
+	"algorand/internal/agreement"
+	"algorand/internal/blockprop"
+	"algorand/internal/crypto"
+	"algorand/internal/ledger"
+	"algorand/internal/sortition"
+)
+
+// recoveryRoundBase offsets recovery BA⋆ executions into their own
+// round-number space so their sortition roles and vote buffers never
+// collide with regular rounds.
+const recoveryRoundBase = uint64(1) << 40
+
+// DebugRecovery, when set by tests, observes each recovery attempt.
+var DebugRecovery func(id int, recRound uint64, proposed crypto.Digest, out agreement.Outcome, err error)
+
+// recover runs the §8.2 fork-recovery protocol: propose the longest
+// fork (as an empty block extending its tip) via sortition with a
+// dedicated role, agree on one proposal with BA⋆ using seed and weights
+// from before the fork, then switch every user onto the winning chain.
+//
+// The paper takes the pre-fork context from the next-to-last b-long
+// period using block timestamps; we use the last *final* block, which
+// is fork-free by construction and common to all users — the same
+// property the paper's quantization is after, available exactly in a
+// deterministic simulation.
+func (n *Node) recover() {
+	checkpoint := uint64(n.proc.Now() / n.cfg.RecoveryInterval)
+	for attempt := 0; attempt < n.cfg.MaxRecoveryAttempts; attempt++ {
+		if n.recoverOnce(checkpoint, uint64(attempt)) {
+			n.alienVotes = 0
+			n.Recovered++
+			return
+		}
+	}
+	// Give up until the next checkpoint; regular rounds may still work
+	// for us even if stragglers remain.
+	n.alienVotes = 0
+}
+
+// recoverOnce runs one recovery BA⋆ attempt; it reports success.
+func (n *Node) recoverOnce(checkpoint, attempt uint64) bool {
+	base := n.ledger.LastFinal()
+	baseHash := base.Hash()
+	balances, ok := n.ledger.BalancesAt(baseHash)
+	if !ok {
+		return false
+	}
+
+	// Fresh proposers and committees per attempt: hash the seed each
+	// time (§8.2).
+	var abuf [16]byte
+	binary.LittleEndian.PutUint64(abuf[:8], checkpoint)
+	binary.LittleEndian.PutUint64(abuf[8:], attempt)
+	seed := crypto.HashBytes("algorand.recovery.seed", base.Seed[:], abuf[:])
+	recRound := recoveryRoundBase + checkpoint*1024 + attempt
+
+	ctx := &agreement.Context{
+		Round:         recRound,
+		Seed:          seed,
+		Weights:       balances.Money,
+		TotalWeight:   balances.Total,
+		LastBlockHash: baseHash,
+		EmptyHash:     crypto.HashBytes("algorand.recovery.empty", seed[:], baseHash[:]),
+	}
+	n.setContext(ctx)
+	defer n.setContext(nil)
+
+	// Propose the longest fork we know: an empty block extending its tip.
+	tips := n.ledger.ForkTips()
+	longest := tips[0]
+	proposal := ledger.EmptyBlock(longest.Round+1, longest.Hash(), longest.Seed)
+	w := balances.Money[n.identity.PublicKey()]
+	if prop := blockprop.Propose(n.identity, sortition.RoleForkProposer, seed, recRound,
+		n.cfg.Params.TauProposer, w, balances.Total, proposal); prop != nil {
+		n.ledger.RegisterProposal(proposal)
+		n.storeBlockMsg(&prop.Block)
+		n.net.Gossip(n.ID, &PriorityGossip{M: prop.Priority})
+		n.net.Gossip(n.ID, &BlockAnnounce{M: prop.Priority, Announcer: n.ID})
+		n.propInbox(recRound).Send(blockprop.NewArrivalPriority(&prop.Priority))
+		n.propInbox(recRound).Send(blockprop.NewArrivalBlock(&prop.Block))
+	}
+
+	wres := blockprop.Wait(n.proc, n.propInbox(recRound),
+		n.cfg.Params.LambdaPriority, n.cfg.Params.LambdaStepVar, n.cfg.Params.LambdaBlock)
+
+	// Validate the §8.2 way: the proposed fork must be at least as long
+	// as the longest chain we have seen.
+	value := ctx.EmptyHash
+	if wres.Block != nil && wres.Block.Round >= longest.Round+1 && wres.Block.IsEmpty() {
+		n.ledger.RegisterProposal(wres.Block)
+		value = wres.Block.Hash()
+	}
+
+	out, err := agreement.Run(n.env(), ctx, value)
+	if DebugRecovery != nil {
+		DebugRecovery(n.ID, recRound, value, out, err)
+	}
+	if err != nil || out.Value == ctx.EmptyHash {
+		return false
+	}
+
+	// Adopt the winning fork.
+	fb, ok := n.ledger.BlockOfHash(out.Value)
+	if !ok && n.cfg.Fetch != nil {
+		fb, ok = n.cfg.Fetch(out.Value)
+	}
+	if !ok {
+		return false
+	}
+	if !n.adoptChain(fb) {
+		return false
+	}
+	return true
+}
+
+// adoptChain commits b and any missing ancestors (fetched on demand),
+// then switches the canonical head to b.
+func (n *Node) adoptChain(b *ledger.Block) bool {
+	// Collect the missing ancestry, newest first.
+	var chain []*ledger.Block
+	cur := b
+	for !n.ledger.Knows(cur.PrevHash) {
+		if n.cfg.Fetch == nil {
+			return false
+		}
+		parent, ok := n.cfg.Fetch(cur.PrevHash)
+		if !ok {
+			return false
+		}
+		chain = append(chain, parent)
+		cur = parent
+	}
+	// Commit oldest first.
+	for i := len(chain) - 1; i >= 0; i-- {
+		if err := n.ledger.Commit(chain[i], nil); err != nil {
+			return false
+		}
+	}
+	if !n.ledger.Knows(b.Hash()) {
+		if err := n.ledger.Commit(b, nil); err != nil {
+			return false
+		}
+	}
+	return n.ledger.SwitchHead(b.Hash()) == nil
+}

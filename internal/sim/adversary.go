@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"algorand/internal/blockprop"
+	"algorand/internal/ledger"
+	"algorand/internal/node"
+)
+
+// MakeEquivocatingProposers turns the first k nodes into the §10.4
+// attackers: when selected as (highest-priority) proposer, each sends
+// one version of its block to half of its peers and a different version
+// to the other half; and whenever selected for a BA⋆ committee, it
+// votes for both the proposed block and the empty block.
+func (c *Cluster) MakeEquivocatingProposers(k int) {
+	for i := 0; i < k && i < len(c.Nodes); i++ {
+		n := c.Nodes[i]
+		n.Misbehave = func(n *node.Node, prop *blockprop.Proposal) {
+			// Craft a second, conflicting block (different timestamp) and
+			// sign a matching announce with the same sortition credentials
+			// — only the proposer itself can do this, which is why honest
+			// proposers cannot be framed (the hash is under the signature).
+			alt := *prop.Block.Block
+			alt.Timestamp++
+			altAnnounce := prop.Priority
+			altAnnounce.BlockHash = alt.Hash()
+			altAnnounce.Sig = c.ids[n.ID].Sign(altAnnounce.SigningBytes())
+			altMsg := blockprop.BlockMsg{Block: &alt, Announce: altAnnounce}
+
+			// Send one version of the block to half the peers and the
+			// other version to the rest (§10.4), pushing the bodies
+			// directly so each victim holds one version before the
+			// conflicting announcements expose the equivocation.
+			neighbors := c.Net.Neighbors(n.ID)
+			for idx, peer := range neighbors {
+				if idx%2 == 0 {
+					c.Net.Gossip(n.ID, &node.PriorityGossip{M: prop.Priority})
+					c.Net.Unicast(n.ID, peer, &node.BlockGossip{M: prop.Block, Recipient: peer})
+				} else {
+					c.Net.Gossip(n.ID, &node.PriorityGossip{M: altAnnounce})
+					c.Net.Unicast(n.ID, peer, &node.BlockGossip{M: altMsg, Recipient: peer})
+				}
+			}
+		}
+		n.VoteSaboteur = func(n *node.Node, v *ledger.Vote) []*ledger.Vote {
+			// Vote for the original value and also for the empty block
+			// (or, when already voting empty, any proposal we know).
+			alt := *v
+			empty := n.Ledger().NextEmptyBlock().Hash()
+			if v.Value == empty {
+				return []*ledger.Vote{v} // nothing else to equivocate to
+			}
+			alt.Value = empty
+			alt.Sign(c.ids[n.ID])
+			return []*ledger.Vote{v, &alt}
+		}
+	}
+}
+
+// SplitWorld partitions the network into two halves for the given
+// virtual-time window [from, to): no messages cross the cut. This is
+// the weak-synchrony adversary of §3 used to exercise §8.2 recovery.
+func (c *Cluster) SplitWorld(from, to int64) {
+	cut := len(c.Nodes) / 2
+	c.Net.SetPartition(func(a, b int) bool {
+		now := int64(c.Sim.Now().Seconds())
+		if now < from || now >= to {
+			return false
+		}
+		return (a < cut) != (b < cut)
+	})
+}
+
+// SilenceNodes drops all traffic from the given nodes (modeling a
+// targeted DoS on known participants).
+func (c *Cluster) SilenceNodes(ids map[int]bool) {
+	c.Net.SetPartition(func(a, b int) bool {
+		return ids[a] || ids[b]
+	})
+}

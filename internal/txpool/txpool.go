@@ -1,0 +1,85 @@
+// Package txpool holds pending transactions a user has heard about via
+// gossip, and assembles blocks from them when the user is selected as a
+// proposer (§4, Figure 1).
+package txpool
+
+import (
+	"sort"
+
+	"algorand/internal/crypto"
+	"algorand/internal/ledger"
+)
+
+// Pool is a single user's set of pending transactions.
+type Pool struct {
+	pending map[crypto.Digest]*ledger.Transaction
+}
+
+// New returns an empty pool.
+func New() *Pool {
+	return &Pool{pending: make(map[crypto.Digest]*ledger.Transaction)}
+}
+
+// Add inserts a transaction (deduplicated by ID).
+func (p *Pool) Add(tx *ledger.Transaction) {
+	p.pending[tx.ID()] = tx
+}
+
+// Len returns the number of pending transactions.
+func (p *Pool) Len() int { return len(p.pending) }
+
+// Assemble picks a set of pending transactions that apply cleanly to
+// the given balances, up to maxBytes of payload, ordered by (sender,
+// nonce) so that nonce sequences apply in order. padTo, if positive,
+// sets PayloadPadding on the caller's behalf by returning the padding
+// needed to reach that block size given the chosen transactions.
+func (p *Pool) Assemble(balances *ledger.Balances, maxBytes int) []ledger.Transaction {
+	txs := make([]*ledger.Transaction, 0, len(p.pending))
+	for _, tx := range p.pending {
+		txs = append(txs, tx)
+	}
+	sort.Slice(txs, func(i, j int) bool {
+		a, b := txs[i], txs[j]
+		if a.From != b.From {
+			return lessPK(a.From, b.From)
+		}
+		return a.Nonce < b.Nonce
+	})
+
+	tmp := balances.Clone()
+	var chosen []ledger.Transaction
+	bytes := 0
+	for _, tx := range txs {
+		if bytes+ledger.TxWireSize > maxBytes {
+			break
+		}
+		if err := tmp.ApplyTx(tx); err != nil {
+			continue // stale or conflicting; leave for later GC
+		}
+		chosen = append(chosen, *tx)
+		bytes += ledger.TxWireSize
+	}
+	return chosen
+}
+
+func lessPK(a, b crypto.PublicKey) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Committed removes transactions that appear in a committed block and
+// drops any that have become permanently invalid (stale nonce).
+func (p *Pool) Committed(b *ledger.Block, balances *ledger.Balances) {
+	for i := range b.Txns {
+		delete(p.pending, b.Txns[i].ID())
+	}
+	for id, tx := range p.pending {
+		if tx.Nonce < balances.Nonce[tx.From] {
+			delete(p.pending, id)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package txpool
+
+import (
+	"testing"
+	"testing/quick"
+
+	"algorand/internal/crypto"
+	"algorand/internal/ledger"
+)
+
+func setup() (*Pool, *ledger.Balances, []crypto.Identity) {
+	p := crypto.NewFast()
+	var ids []crypto.Identity
+	accounts := make(map[crypto.PublicKey]uint64)
+	for i := 0; i < 4; i++ {
+		id := p.NewIdentity(crypto.SeedFromUint64(uint64(i)))
+		ids = append(ids, id)
+		accounts[id.PublicKey()] = 100
+	}
+	return New(), ledger.NewBalances(accounts), ids
+}
+
+func tx(from, to crypto.Identity, amount, nonce uint64) *ledger.Transaction {
+	t := &ledger.Transaction{From: from.PublicKey(), To: to.PublicKey(), Amount: amount, Nonce: nonce}
+	t.Sign(from)
+	return t
+}
+
+func TestAddDeduplicates(t *testing.T) {
+	pool, _, ids := setup()
+	a := tx(ids[0], ids[1], 5, 0)
+	pool.Add(a)
+	pool.Add(a)
+	if pool.Len() != 1 {
+		t.Fatalf("len = %d", pool.Len())
+	}
+}
+
+func TestAssembleNonceOrder(t *testing.T) {
+	pool, bal, ids := setup()
+	// Insert out of order; assembly must apply them in nonce order.
+	pool.Add(tx(ids[0], ids[1], 5, 2))
+	pool.Add(tx(ids[0], ids[1], 5, 0))
+	pool.Add(tx(ids[0], ids[1], 5, 1))
+	chosen := pool.Assemble(bal, 1<<20)
+	if len(chosen) != 3 {
+		t.Fatalf("chose %d txs, want 3", len(chosen))
+	}
+	for i, c := range chosen {
+		if c.Nonce != uint64(i) {
+			t.Fatalf("tx %d has nonce %d", i, c.Nonce)
+		}
+	}
+}
+
+func TestAssembleSkipsInvalid(t *testing.T) {
+	pool, bal, ids := setup()
+	pool.Add(tx(ids[0], ids[1], 1000, 0)) // overdraft
+	pool.Add(tx(ids[1], ids[2], 10, 0))   // fine
+	pool.Add(tx(ids[2], ids[3], 10, 5))   // nonce gap
+	chosen := pool.Assemble(bal, 1<<20)
+	if len(chosen) != 1 {
+		t.Fatalf("chose %d, want 1", len(chosen))
+	}
+	if chosen[0].From != ids[1].PublicKey() {
+		t.Fatal("wrong tx chosen")
+	}
+}
+
+func TestAssembleRespectsSize(t *testing.T) {
+	pool, bal, ids := setup()
+	for i := uint64(0); i < 20; i++ {
+		pool.Add(tx(ids[0], ids[1], 1, i))
+	}
+	max := 5 * ledger.TxWireSize
+	chosen := pool.Assemble(bal, max)
+	if len(chosen) != 5 {
+		t.Fatalf("chose %d, want 5", len(chosen))
+	}
+}
+
+func TestAssembleDoesNotMutateBalances(t *testing.T) {
+	pool, bal, ids := setup()
+	pool.Add(tx(ids[0], ids[1], 50, 0))
+	pool.Assemble(bal, 1<<20)
+	if bal.Money[ids[0].PublicKey()] != 100 {
+		t.Fatal("Assemble mutated balances")
+	}
+}
+
+func TestCommittedRemovesAndGCs(t *testing.T) {
+	pool, bal, ids := setup()
+	a := tx(ids[0], ids[1], 5, 0)
+	b := tx(ids[0], ids[1], 5, 1)
+	stale := tx(ids[1], ids[2], 5, 0)
+	pool.Add(a)
+	pool.Add(b)
+	pool.Add(stale)
+
+	// Block commits a and also a tx from ids[1] with nonce 0, making
+	// "stale" permanently invalid.
+	other := tx(ids[1], ids[3], 7, 0)
+	block := &ledger.Block{Round: 1, Txns: []ledger.Transaction{*a, *other}}
+	if err := bal.ApplyTx(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := bal.ApplyTx(other); err != nil {
+		t.Fatal(err)
+	}
+	pool.Committed(block, bal)
+
+	if pool.Len() != 1 {
+		t.Fatalf("len = %d, want just the nonce-1 tx", pool.Len())
+	}
+	chosen := pool.Assemble(bal, 1<<20)
+	if len(chosen) != 1 || chosen[0].Nonce != 1 {
+		t.Fatalf("remaining pool wrong: %v", chosen)
+	}
+}
+
+// Property: whatever the pool holds, Assemble's output applies cleanly
+// in order to the given balances and fits the byte budget.
+func TestAssembleAlwaysValidQuick(t *testing.T) {
+	pool, bal, ids := setup()
+	f := func(ops [16]struct {
+		From, To uint8
+		Amount   uint8
+		Nonce    uint8
+	}, maxKB uint8) bool {
+		pool = New()
+		for _, op := range ops {
+			from := ids[int(op.From)%len(ids)]
+			to := ids[int(op.To)%len(ids)]
+			pool.Add(tx(from, to, uint64(op.Amount)%40+1, uint64(op.Nonce)%4))
+		}
+		budget := int(maxKB%8) * ledger.TxWireSize
+		chosen := pool.Assemble(bal, budget)
+		if len(chosen)*ledger.TxWireSize > budget {
+			return false
+		}
+		check := bal.Clone()
+		for i := range chosen {
+			if err := check.ApplyTx(&chosen[i]); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,324 @@
+// Package vtime is a deterministic discrete-event simulation runtime
+// with a goroutine-per-process programming model.
+//
+// The Algorand paper's pseudocode (Algorithms 3-8) is written in a
+// blocking style: CountVotes reads messages until a vote threshold or a
+// timeout λ elapses, BinaryBA⋆ loops over steps, and so on. Rather than
+// contorting that logic into explicit state machines, vtime lets each
+// simulated user run as an ordinary goroutine that blocks on virtual
+// time: Sleep, mailbox receives with deadlines, and CPU charges.
+//
+// Exactly one goroutine (a process or the scheduler) executes at any
+// instant; control is handed off through channels acting as a baton.
+// Virtual time advances only when every process is parked, jumping to
+// the earliest pending event. Simultaneous events are ordered by a
+// monotonically increasing sequence number, so a run is a deterministic
+// function of the program and its seeds — crucial for reproducible
+// experiments (see DESIGN.md "Determinism").
+//
+// The cost of this fidelity is that simulations use real goroutines but
+// no real parallelism; throughput is bounded by event rate, which is
+// ample for the scales in EXPERIMENTS.md.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Package note: the simulation normally runs in virtual time (events
+// execute back-to-back, clock jumps). Realtime() switches a Sim to
+// wall-clock execution: the scheduler sleeps until each event's time
+// and external goroutines feed work in through Inject. Protocol code is
+// identical in both modes — this is what lets the same node
+// implementation run deterministically simulated *and* as a real
+// networked process (cmd/algorand-node).
+
+// Sim is a virtual-time simulation. Create one with New, add processes
+// with Spawn, then call Run.
+type Sim struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+
+	running  *Proc // the currently executing process, nil if scheduler
+	yield    chan struct{}
+	live     int // processes spawned and not yet finished
+	stopped  bool
+	panicVal any
+
+	// realtime mode (see Realtime).
+	realtime bool
+	inject   chan func()
+
+	// Stats
+	EventCount uint64
+}
+
+// event is a scheduled occurrence: either waking a parked process or
+// running a closure in scheduler context.
+type event struct {
+	at        time.Duration
+	seq       uint64
+	proc      *Proc  // non-nil: wake this process
+	fn        func() // non-nil: run this closure (must not block)
+	cancelled *bool  // optional cancellation flag (shared with waiter)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Proc is a simulated process. All its methods must be called from
+// within the process's own goroutine.
+type Proc struct {
+	sim  *Sim
+	name string
+	// resume is the baton handing control back to this process.
+	resume chan wake
+	// CPU is the total virtual CPU time charged via Charge.
+	CPU  time.Duration
+	done bool
+}
+
+// wake tells a parked process why it resumed.
+type wake struct {
+	timeout bool
+}
+
+// New returns an empty simulation at virtual time zero.
+func New() *Sim {
+	return &Sim{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time. Valid from process goroutines
+// and event closures.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// schedule pushes an event.
+func (s *Sim) schedule(at time.Duration, p *Proc, fn func(), cancelled *bool) *event {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	e := &event{at: at, seq: s.seq, proc: p, fn: fn, cancelled: cancelled}
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run in scheduler context after delay d. fn must
+// not block; it may send to mailboxes, spawn processes, and schedule
+// further events. Callable from process goroutines and event closures.
+func (s *Sim) After(d time.Duration, fn func()) {
+	s.schedule(s.now+d, nil, fn, nil)
+}
+
+// Spawn creates a new process running fn, starting at the current
+// virtual time. It may be called before Run or from within the
+// simulation.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan wake)}
+	s.live++
+	s.schedule(s.now, p, nil, nil)
+	go func() {
+		<-p.resume // wait for the scheduler to start us
+		defer func() {
+			p.done = true
+			s.live--
+			if r := recover(); r != nil {
+				s.panicVal = fmt.Sprintf("vtime: process %q panicked: %v", p.name, r)
+			}
+			s.running = nil
+			s.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	return p
+}
+
+// Run executes the simulation until no events remain, the optional
+// horizon elapses, or Stop is called. It returns the final virtual time.
+// Processes still parked when events run out are abandoned (the paper's
+// HangForever is expressed this way).
+func (s *Sim) Run(horizon time.Duration) time.Duration {
+	if s.realtime {
+		return s.runRealtime(horizon)
+	}
+	for !s.stopped && len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.cancelled != nil && *e.cancelled {
+			continue
+		}
+		if horizon > 0 && e.at > horizon {
+			s.now = horizon
+			break
+		}
+		s.now = e.at
+		s.EventCount++
+		if e.fn != nil {
+			e.fn()
+			if s.panicVal != nil {
+				panic(s.panicVal)
+			}
+			continue
+		}
+		// Hand the baton to the process and wait for it to park or exit.
+		s.running = e.proc
+		e.proc.resume <- wake{}
+		<-s.yield
+		if s.panicVal != nil {
+			panic(s.panicVal)
+		}
+	}
+	return s.now
+}
+
+// Realtime switches the simulation to wall-clock execution: Run sleeps
+// until each event's scheduled time, and Inject feeds in work from
+// other goroutines (e.g. network readers). Call before Run.
+func (s *Sim) Realtime() *Sim {
+	s.realtime = true
+	s.inject = make(chan func(), 4096)
+	return s
+}
+
+// Inject schedules fn to run in scheduler context as soon as possible.
+// It is the only Sim entry point safe to call from outside the
+// simulation, and only in realtime mode.
+func (s *Sim) Inject(fn func()) {
+	if !s.realtime {
+		panic("vtime: Inject requires realtime mode")
+	}
+	s.inject <- fn
+}
+
+// runRealtime is the wall-clock event loop.
+func (s *Sim) runRealtime(horizon time.Duration) time.Duration {
+	start := time.Now()
+	wall := func() time.Duration { return time.Since(start) }
+	runInjected := func(fn func()) {
+		s.now = wall()
+		fn()
+		if s.panicVal != nil {
+			panic(s.panicVal)
+		}
+	}
+	for !s.stopped {
+		// Drain pending injections first.
+		for {
+			select {
+			case fn := <-s.inject:
+				runInjected(fn)
+				continue
+			default:
+			}
+			break
+		}
+		if s.stopped {
+			break
+		}
+		if horizon > 0 && wall() >= horizon {
+			break
+		}
+		if len(s.events) == 0 {
+			// Idle: wait for external input (or the horizon).
+			var timer <-chan time.Time
+			if horizon > 0 {
+				timer = time.After(horizon - wall())
+			}
+			select {
+			case fn := <-s.inject:
+				runInjected(fn)
+			case <-timer:
+				return wall()
+			}
+			continue
+		}
+		e := heap.Pop(&s.events).(*event)
+		if e.cancelled != nil && *e.cancelled {
+			continue
+		}
+		if wait := e.at - wall(); wait > 0 {
+			select {
+			case fn := <-s.inject:
+				heap.Push(&s.events, e)
+				runInjected(fn)
+				continue
+			case <-time.After(wait):
+			}
+		}
+		s.now = wall()
+		if s.now < e.at {
+			s.now = e.at
+		}
+		s.EventCount++
+		if e.fn != nil {
+			e.fn()
+			if s.panicVal != nil {
+				panic(s.panicVal)
+			}
+			continue
+		}
+		s.running = e.proc
+		e.proc.resume <- wake{}
+		<-s.yield
+		if s.panicVal != nil {
+			panic(s.panicVal)
+		}
+	}
+	return wall()
+}
+
+// Stop halts the simulation after the current event completes. Callable
+// from processes and event closures.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Sim) Stopped() bool { return s.stopped }
+
+// park yields control to the scheduler and blocks until resumed,
+// reporting whether the wake was a timeout.
+func (p *Proc) park() wake {
+	p.sim.running = nil
+	p.sim.yield <- struct{}{}
+	return <-p.resume
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation this process belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.sim.now }
+
+// Sleep suspends the process for virtual duration d.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.sim.schedule(p.sim.now+d, p, nil, nil)
+	p.park()
+}
+
+// Charge models d of CPU work: virtual time the process is busy and
+// cannot react to messages. It is accounted separately in p.CPU so
+// experiments can report CPU utilization (§10.3).
+func (p *Proc) Charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.CPU += d
+	p.Sleep(d)
+}
