@@ -328,7 +328,7 @@ func Costs(scale Scale) CostsReport {
 	// threshold vote count times the wire vote size (measured
 	// structurally; see ledger.Certificate.WireSize).
 	paperVotes := 1371 // ⌊0.685·2000⌋+1
-	certKB := float64(paperVotes*ledger.VoteWireSize+49) / 1024
+	certKB := float64(ledger.CertWireSize(paperVotes)) / 1024
 
 	// Sharded storage per block: every 10th (block + certificate).
 	var storage int64

@@ -2,9 +2,11 @@ package ledger
 
 import (
 	"encoding/binary"
+	"fmt"
 	"time"
 
 	"algorand/internal/crypto"
+	"algorand/internal/wire"
 )
 
 // Block is one entry of the blockchain (§8.1): a list of transactions
@@ -37,44 +39,80 @@ type Block struct {
 	PayloadPadding int
 }
 
-// blockHeaderWireSize approximates the serialized metadata size.
-const blockHeaderWireSize = 8 + 32 + 8 + 32 + 80 + 32 + 80
+// blockFixedSize is the encoded size of a block's fixed header fields:
+// round, prev hash, timestamp, seed, proposer, the two proof length
+// prefixes, the u32 transaction count and the u64 padding count.
+const blockFixedSize = 8 + 32 + 8 + 32 + 4 + 32 + 4 + 4 + 8
 
-// WireSize returns the block's size on the network in bytes.
+// WireSize returns the block's size on the network in bytes — exactly
+// len(wire.Encode(b)), with PayloadPadding materialized.
 func (b *Block) WireSize() int {
-	return blockHeaderWireSize + len(b.Txns)*TxWireSize + b.PayloadPadding
-}
-
-// Encode returns a deterministic binary encoding used for hashing.
-func (b *Block) Encode() []byte {
-	buf := make([]byte, 0, 256+len(b.Txns)*TxWireSize)
-	var tmp [8]byte
-	binary.LittleEndian.PutUint64(tmp[:], b.Round)
-	buf = append(buf, tmp[:]...)
-	buf = append(buf, b.PrevHash[:]...)
-	binary.LittleEndian.PutUint64(tmp[:], uint64(b.Timestamp))
-	buf = append(buf, tmp[:]...)
-	buf = append(buf, b.Seed[:]...)
-	buf = append(buf, byte(len(b.SeedProof)))
-	buf = append(buf, b.SeedProof...)
-	buf = append(buf, b.Proposer[:]...)
-	buf = append(buf, byte(len(b.ProposerProof)))
-	buf = append(buf, b.ProposerProof...)
-	binary.LittleEndian.PutUint64(tmp[:], uint64(len(b.Txns)))
-	buf = append(buf, tmp[:]...)
+	total := blockFixedSize + len(b.SeedProof) + len(b.ProposerProof) + b.PayloadPadding
 	for i := range b.Txns {
-		tx := &b.Txns[i]
-		buf = append(buf, tx.SigningBytes()...)
-		buf = append(buf, tx.Sig...)
+		total += b.Txns[i].WireSize()
 	}
-	binary.LittleEndian.PutUint64(tmp[:], uint64(b.PayloadPadding))
-	buf = append(buf, tmp[:]...)
-	return buf
+	return total
 }
 
-// Hash returns the block's hash, the value BA⋆ votes on.
+// encodeHashed appends every field except the materialized padding
+// zeros: the hash preimage is this strict prefix of the wire encoding,
+// so hashing a 1 MB block does not digest a megabyte of zeros.
+func (b *Block) encodeHashed(e *wire.Encoder) {
+	e.Uint64(b.Round)
+	e.Fixed(b.PrevHash[:])
+	e.Uint64(uint64(b.Timestamp))
+	e.Fixed(b.Seed[:])
+	e.Bytes(b.SeedProof)
+	e.Fixed(b.Proposer[:])
+	e.Bytes(b.ProposerProof)
+	e.Int(len(b.Txns))
+	for i := range b.Txns {
+		b.Txns[i].EncodeTo(e)
+	}
+	e.Uint64(uint64(b.PayloadPadding))
+}
+
+// EncodeTo implements wire.Marshaler. PayloadPadding is materialized as
+// zero bytes so the canonical encoding is byte-identical to what a real
+// deployment transmits for a size-filled block.
+func (b *Block) EncodeTo(e *wire.Encoder) {
+	b.encodeHashed(e)
+	e.Zeros(b.PayloadPadding)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (b *Block) DecodeFrom(d *wire.Decoder) {
+	b.Round = d.Uint64()
+	d.Fixed(b.PrevHash[:])
+	b.Timestamp = time.Duration(d.Uint64())
+	d.Fixed(b.Seed[:])
+	b.SeedProof = d.Bytes()
+	d.Fixed(b.Proposer[:])
+	b.ProposerProof = d.Bytes()
+	n := d.Count(txMinWireSize)
+	b.Txns = nil
+	if n > 0 {
+		b.Txns = make([]Transaction, n)
+		for i := range b.Txns {
+			b.Txns[i].DecodeFrom(d)
+		}
+	}
+	pad := d.Uint64()
+	if pad > uint64(d.Remaining()) {
+		d.Fail(fmt.Errorf("ledger: block padding %d exceeds remaining input", pad))
+		return
+	}
+	b.PayloadPadding = int(pad)
+	d.Skip(b.PayloadPadding)
+}
+
+// Hash returns the block's hash, the value BA⋆ votes on. The preimage
+// is the canonical wire encoding minus the materialized padding zeros
+// (a strict prefix; the padding count itself is covered).
 func (b *Block) Hash() crypto.Digest {
-	return crypto.HashBytes("algorand.block", b.Encode())
+	e := wire.NewEncoderSize(blockFixedSize + 256 + len(b.Txns)*TxWireSize)
+	b.encodeHashed(e)
+	return crypto.HashBytes("algorand.block", e.Data())
 }
 
 // IsEmpty reports whether this is an empty block (no proposer).

@@ -1,12 +1,12 @@
 package ledger
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 
 	"algorand/internal/crypto"
 	"algorand/internal/sortition"
+	"algorand/internal/wire"
 )
 
 // Vote is a committee member's signed BA⋆ message (Algorithm 4):
@@ -23,25 +23,58 @@ type Vote struct {
 	Sig       []byte
 }
 
-// VoteWireSize is a vote's serialized size: sender key, round, step,
-// VRF output and proof, two digests and a signature. About 300 bytes —
-// the paper's "small message" class.
-const VoteWireSize = 32 + 8 + 8 + 64 + 80 + 32 + 32 + 64
+// voteFixedSize is the size of a vote's fixed fields: sender key,
+// round, step, VRF output, two digests, plus the two u32 length
+// prefixes for proof and signature.
+const voteFixedSize = 32 + 8 + 8 + 64 + 4 + 32 + 32 + 4
+
+// VoteWireSize is the canonical wire size of a standard vote (80-byte
+// ECVRF sortition proof, 64-byte Ed25519 signature). About 300 bytes —
+// the paper's "small message" class. Asserted equal to len(wire.Encode)
+// by the universal round-trip test.
+const VoteWireSize = voteFixedSize + 80 + 64
+
+// encodeSigned appends the fields covered by the signature — every
+// field but the signature itself, in wire order, so the signing bytes
+// are a strict prefix of the canonical encoding.
+func (v *Vote) encodeSigned(e *wire.Encoder) {
+	e.Fixed(v.Sender[:])
+	e.Uint64(v.Round)
+	e.Uint64(v.Step)
+	e.Fixed(v.SortHash[:])
+	e.Bytes(v.SortProof)
+	e.Fixed(v.PrevHash[:])
+	e.Fixed(v.Value[:])
+}
+
+// EncodeTo implements wire.Marshaler.
+func (v *Vote) EncodeTo(e *wire.Encoder) {
+	v.encodeSigned(e)
+	e.Bytes(v.Sig)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (v *Vote) DecodeFrom(d *wire.Decoder) {
+	d.Fixed(v.Sender[:])
+	v.Round = d.Uint64()
+	v.Step = d.Uint64()
+	d.Fixed(v.SortHash[:])
+	v.SortProof = d.Bytes()
+	d.Fixed(v.PrevHash[:])
+	d.Fixed(v.Value[:])
+	v.Sig = d.Bytes()
+}
+
+// WireSize returns the vote's canonical encoded size.
+func (v *Vote) WireSize() int {
+	return voteFixedSize + len(v.SortProof) + len(v.Sig)
+}
 
 // SigningBytes returns the canonical encoding covered by the signature.
 func (v *Vote) SigningBytes() []byte {
-	buf := make([]byte, 0, VoteWireSize)
-	var tmp [8]byte
-	binary.LittleEndian.PutUint64(tmp[:], v.Round)
-	buf = append(buf, tmp[:]...)
-	binary.LittleEndian.PutUint64(tmp[:], v.Step)
-	buf = append(buf, tmp[:]...)
-	buf = append(buf, v.SortHash[:]...)
-	buf = append(buf, byte(len(v.SortProof)))
-	buf = append(buf, v.SortProof...)
-	buf = append(buf, v.PrevHash[:]...)
-	buf = append(buf, v.Value[:]...)
-	return buf
+	e := wire.NewEncoderSize(VoteWireSize)
+	v.encodeSigned(e)
+	return e.Data()
 }
 
 // Sign fills in the signature.
@@ -61,11 +94,52 @@ type Certificate struct {
 	Votes []Vote
 }
 
+// certOverheadSize is the certificate's encoded size beyond its votes:
+// round, step, value, final flag, and the u32 vote count.
+const certOverheadSize = 8 + 8 + 32 + 1 + 4
+
+// CertWireSize returns the canonical size of a certificate carrying n
+// standard votes (for analytic sizing, e.g. the §10.3 storage numbers).
+func CertWireSize(n int) int { return certOverheadSize + n*VoteWireSize }
+
 // WireSize returns the certificate's serialized size in bytes. With the
 // paper's parameters (τ_step=2000, T=0.685, ~1370 votes needed) this
 // comes to roughly 300 KBytes, matching §10.3.
 func (c *Certificate) WireSize() int {
-	return 8 + 8 + 32 + 1 + len(c.Votes)*VoteWireSize
+	total := certOverheadSize
+	for i := range c.Votes {
+		total += c.Votes[i].WireSize()
+	}
+	return total
+}
+
+// EncodeTo implements wire.Marshaler.
+func (c *Certificate) EncodeTo(e *wire.Encoder) {
+	e.Uint64(c.Round)
+	e.Uint64(c.Step)
+	e.Fixed(c.Value[:])
+	e.Bool(c.Final)
+	e.Int(len(c.Votes))
+	for i := range c.Votes {
+		c.Votes[i].EncodeTo(e)
+	}
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (c *Certificate) DecodeFrom(d *wire.Decoder) {
+	c.Round = d.Uint64()
+	c.Step = d.Uint64()
+	d.Fixed(c.Value[:])
+	c.Final = d.Bool()
+	n := d.Count(voteFixedSize)
+	if n == 0 {
+		c.Votes = nil
+		return
+	}
+	c.Votes = make([]Vote, n)
+	for i := range c.Votes {
+		c.Votes[i].DecodeFrom(d)
+	}
 }
 
 // Verify checks the certificate under the committee configuration of

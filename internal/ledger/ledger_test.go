@@ -9,6 +9,7 @@ import (
 
 	"algorand/internal/crypto"
 	"algorand/internal/sortition"
+	"algorand/internal/wire"
 )
 
 // population is a test universe of users with equal weight.
@@ -435,8 +436,15 @@ func TestCertificateWireSizeMatchesPaper(t *testing.T) {
 	// §10.3: each block certificate is ~300 KBytes with the paper's
 	// committee parameters (threshold ⌊0.685·2000⌋ = 1370 votes needed).
 	votes := make([]Vote, 1371)
+	for i := range votes {
+		votes[i].SortProof = make([]byte, 80)
+		votes[i].Sig = make([]byte, 64)
+	}
 	c := &Certificate{Votes: votes}
 	size := c.WireSize()
+	if size != CertWireSize(len(votes)) {
+		t.Fatalf("WireSize %d != CertWireSize %d", size, CertWireSize(len(votes)))
+	}
 	if size < 250<<10 || size > 450<<10 {
 		t.Fatalf("certificate size %d bytes; paper reports ~300 KB", size)
 	}
@@ -532,10 +540,16 @@ func TestBlockWireSize(t *testing.T) {
 	if b.WireSize() < 1<<20 {
 		t.Fatal("padding not counted")
 	}
-	tx := Transaction{}
+	if got := len(wire.Encode(b)); got != b.WireSize() {
+		t.Fatalf("encoded %d bytes, WireSize says %d", got, b.WireSize())
+	}
+	tx := Transaction{Sig: make([]byte, 64)}
 	b2 := &Block{Txns: []Transaction{tx, tx}}
-	if b2.WireSize() != blockHeaderWireSize+2*TxWireSize {
+	if b2.WireSize() != blockFixedSize+2*TxWireSize {
 		t.Fatalf("wire size %d", b2.WireSize())
+	}
+	if got := len(wire.Encode(b2)); got != b2.WireSize() {
+		t.Fatalf("encoded %d bytes, WireSize says %d", got, b2.WireSize())
 	}
 }
 

@@ -5,11 +5,11 @@
 package ledger
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 
 	"algorand/internal/crypto"
+	"algorand/internal/wire"
 )
 
 // Transaction is a payment signed by the sender's key, transferring
@@ -23,21 +23,55 @@ type Transaction struct {
 	Sig    []byte
 }
 
-// WireSize is the serialized size of a transaction on the network,
-// used for block-size accounting: two keys, amount, nonce, signature.
-const TxWireSize = 32 + 32 + 8 + 8 + 64
+// txSignedSize is the size of the signed core (two keys, amount,
+// nonce); the canonical encoding appends the length-prefixed signature.
+const txSignedSize = 32 + 32 + 8 + 8
 
-// SigningBytes returns the canonical byte encoding that is signed.
+// TxWireSize is the canonical wire size of a signed transaction
+// (signed core plus length-prefixed 64-byte Ed25519 signature), used
+// for block-size accounting. Asserted equal to len(wire.Encode) by the
+// universal round-trip test.
+const TxWireSize = txSignedSize + 4 + 64
+
+// txMinWireSize is the smallest possible encoding (unsigned).
+const txMinWireSize = txSignedSize + 4
+
+// encodeSigned appends the fields covered by the signature.
+func (tx *Transaction) encodeSigned(e *wire.Encoder) {
+	e.Fixed(tx.From[:])
+	e.Fixed(tx.To[:])
+	e.Uint64(tx.Amount)
+	e.Uint64(tx.Nonce)
+}
+
+// EncodeTo implements wire.Marshaler: the signed core followed by the
+// length-prefixed signature, so SigningBytes is a strict prefix of the
+// wire encoding.
+func (tx *Transaction) EncodeTo(e *wire.Encoder) {
+	tx.encodeSigned(e)
+	e.Bytes(tx.Sig)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (tx *Transaction) DecodeFrom(d *wire.Decoder) {
+	d.Fixed(tx.From[:])
+	d.Fixed(tx.To[:])
+	tx.Amount = d.Uint64()
+	tx.Nonce = d.Uint64()
+	tx.Sig = d.Bytes()
+}
+
+// WireSize returns the transaction's canonical encoded size.
+func (tx *Transaction) WireSize() int {
+	return txSignedSize + 4 + len(tx.Sig)
+}
+
+// SigningBytes returns the canonical byte encoding that is signed: the
+// prefix of the wire encoding before the signature field.
 func (tx *Transaction) SigningBytes() []byte {
-	buf := make([]byte, 0, 80)
-	buf = append(buf, tx.From[:]...)
-	buf = append(buf, tx.To[:]...)
-	var tmp [8]byte
-	binary.LittleEndian.PutUint64(tmp[:], tx.Amount)
-	buf = append(buf, tmp[:]...)
-	binary.LittleEndian.PutUint64(tmp[:], tx.Nonce)
-	buf = append(buf, tmp[:]...)
-	return buf
+	e := wire.NewEncoderSize(txSignedSize)
+	tx.encodeSigned(e)
+	return e.Data()
 }
 
 // ID returns the transaction's unique identifier.

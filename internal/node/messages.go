@@ -7,6 +7,8 @@ import (
 	"algorand/internal/blockprop"
 	"algorand/internal/crypto"
 	"algorand/internal/ledger"
+	"algorand/internal/network"
+	"algorand/internal/wire"
 )
 
 // VoteMsg wraps a BA⋆ vote for the gossip network.
@@ -15,7 +17,13 @@ type VoteMsg struct {
 }
 
 // WireSize implements network.Message.
-func (m *VoteMsg) WireSize() int { return ledger.VoteWireSize }
+func (m *VoteMsg) WireSize() int { return m.Vote.WireSize() }
+
+// EncodeTo implements wire.Marshaler.
+func (m *VoteMsg) EncodeTo(e *wire.Encoder) { m.Vote.EncodeTo(e) }
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *VoteMsg) DecodeFrom(d *wire.Decoder) { m.Vote.DecodeFrom(d) }
 
 // ID identifies the exact vote (sender, round, step, value): an
 // equivocating sender's two votes are distinct messages.
@@ -38,7 +46,13 @@ type PriorityGossip struct {
 }
 
 // WireSize implements network.Message.
-func (m *PriorityGossip) WireSize() int { return blockprop.PriorityMsgWireSize }
+func (m *PriorityGossip) WireSize() int { return m.M.WireSize() }
+
+// EncodeTo implements wire.Marshaler.
+func (m *PriorityGossip) EncodeTo(e *wire.Encoder) { m.M.EncodeTo(e) }
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *PriorityGossip) DecodeFrom(d *wire.Decoder) { m.M.DecodeFrom(d) }
 
 // ID identifies the announcement, including the bound block hash so an
 // equivocator's two variants are distinct messages.
@@ -66,7 +80,19 @@ type BlockAnnounce struct {
 }
 
 // WireSize implements network.Message.
-func (m *BlockAnnounce) WireSize() int { return blockprop.PriorityMsgWireSize + 4 }
+func (m *BlockAnnounce) WireSize() int { return m.M.WireSize() + 4 }
+
+// EncodeTo implements wire.Marshaler.
+func (m *BlockAnnounce) EncodeTo(e *wire.Encoder) {
+	m.M.EncodeTo(e)
+	e.Int(m.Announcer)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *BlockAnnounce) DecodeFrom(d *wire.Decoder) {
+	m.M.DecodeFrom(d)
+	m.Announcer = d.Int()
+}
 
 // ID covers the announcer: each holder announces once.
 func (m *BlockAnnounce) ID() crypto.Digest {
@@ -90,6 +116,20 @@ type BlockRequest struct {
 // WireSize implements network.Message.
 func (m *BlockRequest) WireSize() int { return 32 + 4 + 8 }
 
+// EncodeTo implements wire.Marshaler.
+func (m *BlockRequest) EncodeTo(e *wire.Encoder) {
+	e.Fixed(m.Hash[:])
+	e.Int(m.Requester)
+	e.Uint64(m.Nonce)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *BlockRequest) DecodeFrom(d *wire.Decoder) {
+	d.Fixed(m.Hash[:])
+	m.Requester = d.Int()
+	m.Nonce = d.Uint64()
+}
+
 // ID is unique per request.
 func (m *BlockRequest) ID() crypto.Digest {
 	var buf [16]byte
@@ -112,7 +152,19 @@ type BlockGossip struct {
 }
 
 // WireSize implements network.Message.
-func (m *BlockGossip) WireSize() int { return m.M.WireSize() }
+func (m *BlockGossip) WireSize() int { return m.M.WireSize() + 4 }
+
+// EncodeTo implements wire.Marshaler.
+func (m *BlockGossip) EncodeTo(e *wire.Encoder) {
+	m.M.EncodeTo(e)
+	e.Int(m.Recipient)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *BlockGossip) DecodeFrom(d *wire.Decoder) {
+	m.M.DecodeFrom(d)
+	m.Recipient = d.Int()
+}
 
 // ID covers the block hash, the proposal credentials, and the
 // recipient: the same body sent to two requesters is two transfers.
@@ -131,7 +183,13 @@ type TxMsg struct {
 }
 
 // WireSize implements network.Message.
-func (m *TxMsg) WireSize() int { return ledger.TxWireSize }
+func (m *TxMsg) WireSize() int { return m.Tx.WireSize() }
+
+// EncodeTo implements wire.Marshaler.
+func (m *TxMsg) EncodeTo(e *wire.Encoder) { m.Tx.EncodeTo(e) }
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *TxMsg) DecodeFrom(d *wire.Decoder) { m.Tx.DecodeFrom(d) }
 
 // ID is the transaction ID.
 func (m *TxMsg) ID() crypto.Digest {
@@ -151,7 +209,20 @@ type BlockFill struct {
 }
 
 // WireSize implements network.Message.
-func (m *BlockFill) WireSize() int { return m.Block.WireSize() }
+func (m *BlockFill) WireSize() int { return m.Block.WireSize() + 4 }
+
+// EncodeTo implements wire.Marshaler.
+func (m *BlockFill) EncodeTo(e *wire.Encoder) {
+	m.Block.EncodeTo(e)
+	e.Int(m.Recipient)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *BlockFill) DecodeFrom(d *wire.Decoder) {
+	m.Block = new(ledger.Block)
+	m.Block.DecodeFrom(d)
+	m.Recipient = d.Int()
+}
 
 // ID covers block hash and recipient.
 func (m *BlockFill) ID() crypto.Digest {
@@ -172,7 +243,23 @@ type ChainRequest struct {
 }
 
 // WireSize implements network.Message.
-func (m *ChainRequest) WireSize() int { return 8 + 8 + 4 + 8 }
+func (m *ChainRequest) WireSize() int { return 8 + 4 + 4 + 8 }
+
+// EncodeTo implements wire.Marshaler.
+func (m *ChainRequest) EncodeTo(e *wire.Encoder) {
+	e.Uint64(m.FromRound)
+	e.Int(m.MaxBlocks)
+	e.Int(m.Requester)
+	e.Uint64(m.Nonce)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *ChainRequest) DecodeFrom(d *wire.Decoder) {
+	m.FromRound = d.Uint64()
+	m.MaxBlocks = d.Int()
+	m.Requester = d.Int()
+	m.Nonce = d.Uint64()
+}
 
 // ID is unique per request.
 func (m *ChainRequest) ID() crypto.Digest {
@@ -197,7 +284,7 @@ type ChainReply struct {
 
 // WireSize implements network.Message.
 func (m *ChainReply) WireSize() int {
-	total := 16
+	total := 4 + 4 + 4 + 8 // two counts, recipient, nonce
 	for _, b := range m.Blocks {
 		total += b.WireSize()
 	}
@@ -205,6 +292,46 @@ func (m *ChainReply) WireSize() int {
 		total += c.WireSize()
 	}
 	return total
+}
+
+// EncodeTo implements wire.Marshaler.
+func (m *ChainReply) EncodeTo(e *wire.Encoder) {
+	e.Int(len(m.Blocks))
+	for _, b := range m.Blocks {
+		b.EncodeTo(e)
+	}
+	e.Int(len(m.Certs))
+	for _, c := range m.Certs {
+		c.EncodeTo(e)
+	}
+	e.Int(m.Recipient)
+	e.Uint64(m.Nonce)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *ChainReply) DecodeFrom(d *wire.Decoder) {
+	nb := d.Count(1)
+	m.Blocks = nil
+	for i := 0; i < nb; i++ {
+		b := new(ledger.Block)
+		b.DecodeFrom(d)
+		if d.Err() != nil {
+			return
+		}
+		m.Blocks = append(m.Blocks, b)
+	}
+	nc := d.Count(1)
+	m.Certs = nil
+	for i := 0; i < nc; i++ {
+		c := new(ledger.Certificate)
+		c.DecodeFrom(d)
+		if d.Err() != nil {
+			return
+		}
+		m.Certs = append(m.Certs, c)
+	}
+	m.Recipient = d.Int()
+	m.Nonce = d.Uint64()
 }
 
 // ID is unique per reply.
@@ -221,3 +348,104 @@ func (m *ChainReply) ID() crypto.Digest {
 
 // LimitKey: unicast, never relayed.
 func (m *ChainReply) LimitKey() string { return "" }
+
+// --- Wire registry ----------------------------------------------------------
+
+// Frame type tags, one per gossip message type. These are wire format:
+// never renumber an existing tag.
+const (
+	TagVote byte = 1 + iota
+	TagPriority
+	TagBlockAnnounce
+	TagBlockRequest
+	TagBlockGossip
+	TagTx
+	TagBlockFill
+	TagChainRequest
+	TagChainReply
+)
+
+// wireMessage is the constraint every gossip message satisfies: the
+// network contract plus the canonical codec.
+type wireMessage interface {
+	network.Message
+	wire.Marshaler
+	wire.Unmarshaler
+}
+
+// MessageTag returns the frame tag for a gossip message.
+func MessageTag(m network.Message) (byte, bool) {
+	switch m.(type) {
+	case *VoteMsg:
+		return TagVote, true
+	case *PriorityGossip:
+		return TagPriority, true
+	case *BlockAnnounce:
+		return TagBlockAnnounce, true
+	case *BlockRequest:
+		return TagBlockRequest, true
+	case *BlockGossip:
+		return TagBlockGossip, true
+	case *TxMsg:
+		return TagTx, true
+	case *BlockFill:
+		return TagBlockFill, true
+	case *ChainRequest:
+		return TagChainRequest, true
+	case *ChainReply:
+		return TagChainReply, true
+	}
+	return 0, false
+}
+
+// NewMessage returns a fresh message of the tagged type, or nil for an
+// unknown tag.
+func NewMessage(tag byte) network.Message {
+	switch tag {
+	case TagVote:
+		return new(VoteMsg)
+	case TagPriority:
+		return new(PriorityGossip)
+	case TagBlockAnnounce:
+		return new(BlockAnnounce)
+	case TagBlockRequest:
+		return new(BlockRequest)
+	case TagBlockGossip:
+		return new(BlockGossip)
+	case TagTx:
+		return new(TxMsg)
+	case TagBlockFill:
+		return new(BlockFill)
+	case TagChainRequest:
+		return new(ChainRequest)
+	case TagChainReply:
+		return new(ChainReply)
+	}
+	return nil
+}
+
+// EncodeMessage encodes a gossip message into its frame tag and
+// canonical payload.
+func EncodeMessage(m network.Message) (tag byte, payload []byte, err error) {
+	tag, ok := MessageTag(m)
+	if !ok {
+		return 0, nil, fmt.Errorf("node: %T is not a wire message", m)
+	}
+	e := wire.NewEncoderSize(m.WireSize())
+	m.(wireMessage).EncodeTo(e)
+	return tag, e.Data(), nil
+}
+
+// DecodeMessage reconstructs a gossip message from its frame tag and
+// payload. It never panics on malformed input and requires the payload
+// to be fully consumed.
+func DecodeMessage(tag byte, payload []byte) (network.Message, error) {
+	m := NewMessage(tag)
+	if m == nil {
+		return nil, fmt.Errorf("node: unknown message tag %d", tag)
+	}
+	if err := wire.Decode(payload, m.(wireMessage)); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

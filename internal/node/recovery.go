@@ -1,13 +1,12 @@
 package node
 
 import (
-	"encoding/binary"
-
 	"algorand/internal/agreement"
 	"algorand/internal/blockprop"
 	"algorand/internal/crypto"
 	"algorand/internal/ledger"
 	"algorand/internal/sortition"
+	"algorand/internal/wire"
 )
 
 // recoveryRoundBase offsets recovery BA⋆ executions into their own
@@ -52,11 +51,12 @@ func (n *Node) recoverOnce(checkpoint, attempt uint64) bool {
 	}
 
 	// Fresh proposers and committees per attempt: hash the seed each
-	// time (§8.2).
-	var abuf [16]byte
-	binary.LittleEndian.PutUint64(abuf[:8], checkpoint)
-	binary.LittleEndian.PutUint64(abuf[8:], attempt)
-	seed := crypto.HashBytes("algorand.recovery.seed", base.Seed[:], abuf[:])
+	// time (§8.2). The attempt coordinates are wire-encoded so the
+	// preimage layout is the codec's, not ad hoc.
+	e := wire.NewEncoderSize(16)
+	e.Uint64(checkpoint)
+	e.Uint64(attempt)
+	seed := crypto.HashBytes("algorand.recovery.seed", base.Seed[:], e.Data())
 	recRound := recoveryRoundBase + checkpoint*1024 + attempt
 
 	ctx := &agreement.Context{

@@ -7,48 +7,25 @@
 // validated by the node's handler before relaying, exact duplicates are
 // dropped, and per-(sender,round,step) relay limits apply — but trades
 // the simulator's modeled latency/bandwidth for real sockets. Messages
-// are encoded with encoding/gob; PayloadPadding is materialized as real
-// bytes so large blocks cost real bandwidth.
+// travel as internal/wire frames: a length prefix, a one-byte type tag,
+// the sender id and the message's canonical encoding. That encoding is
+// the same byte layout the simulator's bandwidth model counts and the
+// signing paths cover — no reflection, and ledger.Block.PayloadPadding
+// is materialized by the codec so large blocks cost real bandwidth.
 package realnet
 
 import (
-	"bytes"
-	"encoding/gob"
+	"bufio"
 	"fmt"
 	"net"
 	"sync"
 
-	"algorand/internal/blockprop"
 	"algorand/internal/crypto"
-	"algorand/internal/ledger"
 	"algorand/internal/network"
 	nodepkg "algorand/internal/node"
 	"algorand/internal/vtime"
+	"algorand/internal/wire"
 )
-
-func init() {
-	gob.Register(&nodepkg.VoteMsg{})
-	gob.Register(&nodepkg.PriorityGossip{})
-	gob.Register(&nodepkg.BlockAnnounce{})
-	gob.Register(&nodepkg.BlockRequest{})
-	gob.Register(&nodepkg.BlockGossip{})
-	gob.Register(&nodepkg.BlockFill{})
-	gob.Register(&nodepkg.TxMsg{})
-	gob.Register(&nodepkg.ChainRequest{})
-	gob.Register(&nodepkg.ChainReply{})
-	gob.Register(&ledger.Block{})
-	gob.Register(blockprop.PriorityMsg{})
-}
-
-// wireFrame is what travels on a connection.
-type wireFrame struct {
-	From int
-	// Padding materializes ledger.Block.PayloadPadding as real bytes so
-	// block transfers cost real bandwidth (the simulator only accounts
-	// for them). Filled by send, discarded by the receiver.
-	Padding []byte
-	Msg     network.Message
-}
 
 // Transport implements node.Transport over TCP.
 type Transport struct {
@@ -60,7 +37,7 @@ type Transport struct {
 	ln      net.Listener
 
 	mu       sync.Mutex
-	conns    map[int]*gobConn
+	conns    map[int]*wireConn
 	accepted []net.Conn
 	seen     map[crypto.Digest]bool
 	limit    map[string]int
@@ -70,10 +47,12 @@ type Transport struct {
 	onError func(err error)
 }
 
-type gobConn struct {
-	mu  sync.Mutex
-	c   net.Conn
-	enc *gob.Encoder
+// wireConn is one outgoing connection with a buffered, serialized
+// writer.
+type wireConn struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *bufio.Writer
 }
 
 // New creates a transport for node id, listening on addrs[id]. The
@@ -96,7 +75,7 @@ func NewWithListener(sim *vtime.Sim, id int, addrs []string, ln net.Listener) *T
 		sim:    sim,
 		addrs:  append([]string(nil), addrs...),
 		ln:     ln,
-		conns:  make(map[int]*gobConn),
+		conns:  make(map[int]*wireConn),
 		seen:   make(map[crypto.Digest]bool),
 		limit:  make(map[string]int),
 		closed: make(chan struct{}),
@@ -134,8 +113,8 @@ func (t *Transport) Close() {
 	close(t.closed)
 	t.ln.Close()
 	t.mu.Lock()
-	for _, gc := range t.conns {
-		gc.c.Close()
+	for _, wc := range t.conns {
+		wc.c.Close()
 	}
 	for _, c := range t.accepted {
 		c.Close()
@@ -180,19 +159,22 @@ func (t *Transport) acceptLoop() {
 }
 
 // readLoop decodes frames from one connection and injects deliveries
-// into the node's scheduler.
+// into the node's scheduler. A malformed frame drops the connection —
+// the peer is either broken or hostile; either way the stream cannot be
+// resynchronized.
 func (t *Transport) readLoop(c net.Conn) {
 	defer t.wg.Done()
 	defer c.Close()
-	dec := gob.NewDecoder(c)
+	r := bufio.NewReader(c)
 	for {
-		var f wireFrame
-		if err := dec.Decode(&f); err != nil {
+		tag, payload, err := wire.ReadFrame(r)
+		if err != nil {
 			return
 		}
-		from, msg := f.From, f.Msg
-		if msg == nil {
-			continue
+		from, msg, err := decodeFrame(tag, payload)
+		if err != nil {
+			t.reportErr(fmt.Errorf("realnet: bad frame from %s: %w", c.RemoteAddr(), err))
+			return
 		}
 		t.sim.Inject(func() { t.deliver(from, msg) })
 	}
@@ -257,78 +239,93 @@ func (t *Transport) Unicast(from, to int, m network.Message) {
 }
 
 // conn returns (dialing if needed) the connection to a peer.
-func (t *Transport) conn(peer int) (*gobConn, error) {
+func (t *Transport) conn(peer int) (*wireConn, error) {
 	t.mu.Lock()
-	gc, ok := t.conns[peer]
+	wc, ok := t.conns[peer]
 	t.mu.Unlock()
 	if ok {
-		return gc, nil
+		return wc, nil
 	}
 	c, err := net.Dial("tcp", t.addrs[peer])
 	if err != nil {
 		return nil, err
 	}
-	gc = &gobConn{c: c, enc: gob.NewEncoder(c)}
+	wc = &wireConn{c: c, w: bufio.NewWriter(c)}
 	t.mu.Lock()
 	if prev, raced := t.conns[peer]; raced {
 		t.mu.Unlock()
 		c.Close()
 		return prev, nil
 	}
-	t.conns[peer] = gc
+	t.conns[peer] = wc
 	t.mu.Unlock()
-	return gc, nil
+	return wc, nil
 }
 
-func (t *Transport) dropConn(peer int, gc *gobConn) {
+func (t *Transport) dropConn(peer int, wc *wireConn) {
 	t.mu.Lock()
-	if t.conns[peer] == gc {
+	if t.conns[peer] == wc {
 		delete(t.conns, peer)
 	}
 	t.mu.Unlock()
-	gc.c.Close()
+	wc.c.Close()
 }
 
 // send encodes and transmits one frame; failures drop the message
 // (gossip tolerates loss; BA⋆'s timeouts absorb it).
 func (t *Transport) send(peer int, m network.Message) {
-	gc, err := t.conn(peer)
+	wc, err := t.conn(peer)
 	if err != nil {
 		t.reportErr(err)
 		return
 	}
-	frame := wireFrame{From: t.id, Msg: m}
-	if pad := paddingOf(m); pad > 0 {
-		frame.Padding = make([]byte, pad)
-	}
-	gc.mu.Lock()
-	err = gc.enc.Encode(&frame)
-	gc.mu.Unlock()
+	tag, payload, err := encodeFrame(t.id, m)
 	if err != nil {
-		t.dropConn(peer, gc)
+		t.reportErr(err)
+		return
+	}
+	wc.mu.Lock()
+	err = wire.WriteFrame(wc.w, tag, payload)
+	if err == nil {
+		err = wc.w.Flush()
+	}
+	wc.mu.Unlock()
+	if err != nil {
+		t.dropConn(peer, wc)
 		t.reportErr(err)
 	}
 }
 
-// paddingOf returns the block padding a message models, so that it is
-// materialized on the wire.
-func paddingOf(m network.Message) int {
-	switch msg := m.(type) {
-	case *nodepkg.BlockGossip:
-		return msg.M.Block.PayloadPadding
-	case *nodepkg.BlockFill:
-		return msg.Block.PayloadPadding
+// encodeFrame builds a frame payload: the sender id followed by the
+// message's canonical wire encoding.
+func encodeFrame(from int, m network.Message) (tag byte, payload []byte, err error) {
+	tag, body, err := nodepkg.EncodeMessage(m)
+	if err != nil {
+		return 0, nil, err
 	}
-	return 0
+	e := wire.NewEncoderSize(4 + len(body))
+	e.Int(from)
+	e.Fixed(body)
+	return tag, e.Data(), nil
 }
 
-// encodeSize reports a message's gob size (diagnostics).
+// decodeFrame is the inverse of encodeFrame.
+func decodeFrame(tag byte, payload []byte) (from int, m network.Message, err error) {
+	if len(payload) < 4 {
+		return 0, nil, fmt.Errorf("realnet: frame payload of %d bytes", len(payload))
+	}
+	d := wire.NewDecoder(payload[:4])
+	from = d.Int()
+	m, err = nodepkg.DecodeMessage(tag, payload[4:])
+	return from, m, err
+}
+
+// encodeSize reports a message's framed wire size (diagnostics): the
+// canonical encoding plus the sender id and the 5-byte frame header.
 func encodeSize(m network.Message) int {
-	var buf bytes.Buffer
-	enc := gob.NewEncoder(&buf)
-	f := wireFrame{Msg: m}
-	if err := enc.Encode(&f); err != nil {
+	_, payload, err := nodepkg.EncodeMessage(m)
+	if err != nil {
 		return -1
 	}
-	return buf.Len()
+	return 5 + 4 + len(payload)
 }

@@ -160,8 +160,12 @@ func TestRealTCPConsensus(t *testing.T) {
 	}
 }
 
-func TestWireCodecRoundTrip(t *testing.T) {
-	// Every message type must round-trip through the gob codec.
+func TestFrameRoundTrip(t *testing.T) {
+	// Frames must round-trip through the wire codec with the sender id
+	// intact, and the framed size must be the canonical WireSize plus
+	// the fixed envelope overhead (5-byte frame header + 4-byte sender).
+	// The per-type encoding round-trip lives in internal/wire's
+	// universal test; this covers the transport envelope.
 	provider := crypto.NewReal()
 	id := provider.NewIdentity(crypto.SeedFromUint64(1))
 	vote := &nodepkg.VoteMsg{Vote: ledger.Vote{
@@ -177,8 +181,22 @@ func TestWireCodecRoundTrip(t *testing.T) {
 		&nodepkg.TxMsg{Tx: ledger.Transaction{From: id.PublicKey(), Amount: 5}},
 	}
 	for _, m := range msgs {
-		if sz := encodeSize(m); sz <= 0 {
-			t.Fatalf("%T failed to encode (size %d)", m, sz)
+		if sz := encodeSize(m); sz != m.WireSize()+9 {
+			t.Fatalf("%T framed size %d, want WireSize %d + 9", m, sz, m.WireSize())
+		}
+		tag, payload, err := encodeFrame(7, m)
+		if err != nil {
+			t.Fatalf("%T encode: %v", m, err)
+		}
+		from, back, err := decodeFrame(tag, payload)
+		if err != nil {
+			t.Fatalf("%T decode: %v", m, err)
+		}
+		if from != 7 {
+			t.Fatalf("%T sender %d, want 7", m, from)
+		}
+		if back.ID() != m.ID() {
+			t.Fatalf("%T round-trip changed message identity", m)
 		}
 	}
 }
