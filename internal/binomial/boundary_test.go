@@ -1,0 +1,139 @@
+package binomial
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"algorand/internal/crypto"
+)
+
+// TestSelectHardBoundaries pins the degenerate edges of the sortition
+// quantile: zero weight, zero committee, committee as large as the whole
+// stake, and the two extreme VRF hashes. These are exactly the places
+// where a prover/verifier disagreement would be catastrophic (a j=0 user
+// voting, or a selected user rejected by everyone).
+func TestSelectHardBoundaries(t *testing.T) {
+	zeros := make([]byte, 64)
+	ones := make([]byte, 64)
+	for i := range ones {
+		ones[i] = 0xFF
+	}
+	mid := crypto.HashBytes("binomial.boundary", []byte("mid"))
+
+	cases := []struct {
+		name            string
+		hash            []byte
+		w, W, tau, want uint64
+	}{
+		{"zero-weight", mid[:], 0, 1000, 200, 0},
+		{"zero-weight-extreme-hash", ones, 0, 1000, 200, 0},
+		{"zero-committee", ones, 50, 1000, 0, 0},
+		{"committee-equals-stake", zeros, 50, 1000, 1000, 50},
+		{"committee-exceeds-stake", zeros, 50, 1000, 2000, 50},
+		{"zero-total-weight", mid[:], 50, 0, 200, 50},
+		{"min-hash", zeros, 50, 1000, 200, 0},
+		{"max-hash-selects-all", ones, 5, 1000, 200, 5},
+		{"sole-sub-user-min-hash", zeros, 1, 1, 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Select(tc.hash, tc.w, tc.W, tc.tau); got != tc.want {
+				t.Fatalf("Select(%s) = %d, want %d", tc.name, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestQuantileCDFIntervalAgreement is the CDF↔selection consistency
+// check: Quantile(f) = j exactly when f lands in [CDF(j-1), CDF(j)).
+// We probe each interval at its midpoint and at its exact lower
+// boundary, for parameters spanning the paper's regimes — including the
+// Figure 4 committees (τ=2000 and τ=10000) at realistic weights.
+func TestQuantileCDFIntervalAgreement(t *testing.T) {
+	cases := []struct {
+		name          string
+		n, pNum, pDen uint64
+	}{
+		{"small", 10, 1, 4},
+		{"tau-step-2000", 1000, 2000, 1_000_000},
+		{"tau-final-10000", 1000, 10_000, 1_000_000},
+		{"heavy-user", 500, 30, 100},
+		{"single-subuser", 1, 1, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			limit := tc.n
+			if limit > 12 {
+				limit = 12
+			}
+			prev := big.NewFloat(0).SetPrec(Prec) // CDF(-1) = 0
+			for j := uint64(0); j <= limit; j++ {
+				cur := New(tc.n, tc.pNum, tc.pDen).CDF(j)
+				if cur.Cmp(prev) <= 0 {
+					t.Fatalf("CDF not strictly increasing at j=%d", j)
+				}
+				midpoint := new(big.Float).SetPrec(Prec).Add(prev, cur)
+				midpoint.Quo(midpoint, big.NewFloat(2))
+				if got := New(tc.n, tc.pNum, tc.pDen).Quantile(midpoint); got != j {
+					t.Fatalf("Quantile(midpoint of I_%d) = %d", j, got)
+				}
+				// The lower boundary belongs to interval j (intervals are
+				// half-open: [CDF(j-1), CDF(j)) per Algorithm 1).
+				lower := new(big.Float).SetPrec(Prec).Set(prev)
+				if got := New(tc.n, tc.pNum, tc.pDen).Quantile(lower); got != j {
+					t.Fatalf("Quantile(CDF(%d)) = %d, want %d", int64(j)-1, got, j)
+				}
+				prev = cur
+			}
+		})
+	}
+}
+
+// TestCommitteeSizesFigure4 checks that sortition over a whole
+// population actually produces committees of the paper's expected sizes
+// (Figure 4: τ=2000 for ordinary steps, τ=10000 for the final step).
+// The sum of Select over all users is a sum of independent binomials
+// with total mean τ, so each trial must land within a few standard
+// deviations of τ.
+func TestCommitteeSizesFigure4(t *testing.T) {
+	const users = 400
+	const weight = 25_000
+	const W = users * weight
+	for _, tau := range []uint64{2000, 10_000} {
+		var total, trials uint64
+		for trial := uint64(0); trial < 3; trial++ {
+			var committee uint64
+			for u := uint64(0); u < users; u++ {
+				h := crypto.HashUint64("binomial.fig4", trial*users+u)
+				committee += Select(h[:], weight, W, tau)
+			}
+			sigma := math.Sqrt(float64(tau))
+			if math.Abs(float64(committee)-float64(tau)) > 6*sigma {
+				t.Fatalf("τ=%d trial %d: committee size %d, want ≈%d (6σ=%.0f)",
+					tau, trial, committee, tau, 6*sigma)
+			}
+			total += committee
+			trials++
+		}
+		mean := float64(total) / float64(trials)
+		if math.Abs(mean-float64(tau)) > 4*math.Sqrt(float64(tau)) {
+			t.Fatalf("τ=%d: mean committee size %.0f across %d trials", tau, mean, trials)
+		}
+	}
+}
+
+// TestQuantileMaxJ drives the walk to its upper end: with n small and p
+// large, the extreme hash must select every sub-user, and j can never
+// exceed n no matter the fraction.
+func TestQuantileMaxJ(t *testing.T) {
+	ones := make([]byte, 64)
+	for i := range ones {
+		ones[i] = 0xFF
+	}
+	for _, n := range []uint64{1, 2, 7, 32} {
+		if got := Select(ones, n, 10, 9); got != n {
+			t.Fatalf("n=%d: extreme hash selected %d of %d sub-users", n, got, n)
+		}
+	}
+}

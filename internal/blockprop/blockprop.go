@@ -345,6 +345,48 @@ func WaitOpts(
 	}
 }
 
+// Candidate is one proposer's (non-equivocating) proposal collected by
+// WaitAll.
+type Candidate struct {
+	Block    *ledger.Block
+	Priority sortition.Priority
+}
+
+// WaitAll listens for the full proposal window and returns every
+// distinct proposer's block received, discarding equivocators (§10.4).
+// Recovery (§8.2) uses it to settle on the longest proposed fork
+// rather than on the single highest priority: a proposer on a short
+// branch cannot know a longer one exists, so the highest priority
+// alone may name a proposal that most of the network must reject —
+// splitting BA⋆'s inputs between that proposal and the empty value.
+func WaitAll(
+	proc *vtime.Proc,
+	inbox *vtime.Mailbox,
+	lambdaBlock time.Duration,
+) []Candidate {
+	blockDeadline := proc.Now() + lambdaBlock
+	blocks := make(map[crypto.PublicKey]*BlockMsg)
+	equivocators := make(map[crypto.PublicKey]bool)
+	for {
+		m, ok := proc.RecvDeadline(inbox, blockDeadline)
+		if !ok {
+			break
+		}
+		a := m.(arrival)
+		if a.blk != nil {
+			noteBlock(blocks, equivocators, a.blk)
+		}
+	}
+	var out []Candidate
+	for proposer, bm := range blocks {
+		if equivocators[proposer] {
+			continue
+		}
+		out = append(out, Candidate{Block: bm.Block, Priority: bm.Priority()})
+	}
+	return out
+}
+
 // noteBlock records a block arrival, flagging equivocation when a
 // proposer sends two different blocks for the same round (§10.4: "if a
 // user receives two conflicting versions of a block from the highest

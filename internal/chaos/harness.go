@@ -1,0 +1,274 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"algorand/internal/network"
+	"algorand/internal/params"
+	"algorand/internal/sim"
+)
+
+// livenessBudget is how much virtual time a run gets after its last
+// fault clears. It covers the worst §8.2 path — a failed in-flight
+// round, the sync probe, the sleep to the next recovery checkpoint,
+// a full recovery attempt, and re-running every remaining round — with
+// slack. Liveness is asserted *within this window* (§3's weak-synchrony
+// promise: progress resumes within bounded time of the network healing).
+const livenessBudget = 15 * time.Minute
+
+// recoveryInterval for chaos runs: short enough that §8.2 recovery
+// fires several times inside the liveness window.
+const recoveryInterval = 90 * time.Second
+
+// Result is a completed chaos run, ready for invariant checking.
+type Result struct {
+	Scenario Scenario
+	Cluster  *sim.Cluster
+	Elapsed  time.Duration
+	// HealAt is the virtual time the last fault cleared; HealChains[i]
+	// is node i's chain length at that moment (the liveness baseline).
+	HealAt     time.Duration
+	HealChains []uint64
+	// Down marks nodes crashed without restart; Byzantine marks §10.4
+	// equivocators. Both are exempt from liveness (but not safety —
+	// whatever they committed while honest must still be consistent).
+	Down      map[int]bool
+	Byzantine map[int]bool
+	// RestartErrs records archive-restore failures during scheduled
+	// restarts (always violations: scenarios never tamper archives).
+	RestartErrs []error
+	// CheckParams are the weakest protocol parameters any node ran with
+	// during the run — certificates are re-verified against these.
+	CheckParams params.Params
+}
+
+// Run compiles the scenario onto a fresh cluster and runs it to
+// completion or the liveness horizon.
+func Run(s Scenario) *Result { return RunWith(s, nil) }
+
+// RunWith is Run with a pre-start hook, letting tests sabotage the
+// deployment (e.g. install broken parameters on one node) before
+// virtual time starts.
+func RunWith(s Scenario, preStart func(c *sim.Cluster)) *Result {
+	cfg := sim.DefaultConfig(s.Nodes, s.Rounds)
+	// The accelerated timeouts every node test uses: rounds complete in
+	// a few virtual seconds, so fault windows of tens of seconds span
+	// multiple rounds.
+	cfg.Params.LambdaPriority = time.Second
+	cfg.Params.LambdaStepVar = time.Second
+	cfg.Params.LambdaBlock = 5 * time.Second
+	cfg.Params.LambdaStep = 2 * time.Second
+	cfg.Params.MaxSteps = 8
+	cfg.Params.BlockSize = 4096
+	cfg.RecoveryInterval = recoveryInterval
+	cfg.Seed = s.Seed
+
+	honest := cfg.Params
+	if s.TStepOverride > 0 {
+		cfg.Params.TStep = s.TStepOverride
+	}
+	healAt := s.LastFaultClear()
+	cfg.Horizon = healAt + livenessBudget
+
+	c := sim.NewCluster(cfg)
+	c.Net.SeedFaults(s.Seed)
+
+	res := &Result{
+		Scenario:    s,
+		Cluster:     c,
+		HealAt:      healAt,
+		HealChains:  make([]uint64, s.Nodes),
+		Down:        make(map[int]bool),
+		Byzantine:   make(map[int]bool),
+		CheckParams: cfg.Params,
+	}
+
+	// --- Compile faults into network hooks and scheduled events.
+	for i := 0; i < s.Equivocators; i++ {
+		res.Byzantine[i] = true
+	}
+	c.MakeEquivocatingProposers(s.Equivocators)
+
+	for _, p := range s.Partitions {
+		p := p
+		c.Net.AddPartition(func(a, b int) bool {
+			now := c.Sim.Now()
+			if now < p.Start || now >= p.End {
+				return false
+			}
+			return (a < p.Cut) != (b < p.Cut)
+		})
+	}
+	for _, d := range s.DoS {
+		d := d
+		c.Net.AddPartition(func(a, b int) bool {
+			now := c.Sim.Now()
+			if now < d.Start || now >= d.End {
+				return false
+			}
+			for _, v := range d.Nodes {
+				if a == v || b == v {
+					return true
+				}
+			}
+			return false
+		})
+	}
+	for _, lf := range s.LinkFaults {
+		lf := lf
+		c.Net.AddLinkFault(network.LinkFault{
+			Match: func(from, to int) bool {
+				if lf.From >= 0 && from != lf.From {
+					return false
+				}
+				if lf.To >= 0 && to != lf.To {
+					return false
+				}
+				return true
+			},
+			Active:      func(now time.Duration) bool { return now >= lf.Start && now < lf.End },
+			LossProb:    lf.LossProb,
+			ExtraDelay:  lf.ExtraDelay,
+			ExtraJitter: lf.ExtraJitter,
+		})
+	}
+	for _, cr := range s.Crashes {
+		cr := cr
+		c.Sim.After(cr.At, func() { c.CrashNode(cr.Node) })
+		if cr.RestartAt > 0 {
+			c.Sim.After(cr.RestartAt, func() {
+				if _, _, err := c.RestartNode(cr.Node, livenessBudget); err != nil {
+					res.RestartErrs = append(res.RestartErrs,
+						fmt.Errorf("node %d restart at %v: %w", cr.Node, cr.RestartAt, err))
+				}
+			})
+		} else {
+			res.Down[cr.Node] = true
+		}
+	}
+	if s.TStepOverride > 0 {
+		c.Sim.After(s.TStepRestoreAt, func() {
+			for _, n := range c.Nodes {
+				n.SetParams(honest)
+			}
+		})
+	}
+	if healAt > 0 {
+		// Snapshot chain lengths just after the heal instant (restarts
+		// scheduled at the same time have installed their replacements).
+		c.Sim.After(healAt+time.Millisecond, func() {
+			for i, n := range c.Nodes {
+				res.HealChains[i] = n.Ledger().ChainLength()
+			}
+		})
+	}
+
+	if preStart != nil {
+		preStart(c)
+	}
+	res.Elapsed = c.Run()
+	return res
+}
+
+// Check runs the full invariant suite against the finished run.
+func (r *Result) Check() []Violation {
+	opt := CheckOptions{
+		Params:              r.CheckParams,
+		Rounds:              r.Scenario.Rounds,
+		AllowTentativeForks: r.Scenario.TStepOverride > 0,
+		RequireProgress:     r.Scenario.TStepOverride == 0,
+		Byzantine:           r.Byzantine,
+		Down:                r.Down,
+		HealChains:          r.HealChains,
+	}
+	vs := CheckInvariants(r.Cluster, opt)
+	for _, err := range r.RestartErrs {
+		vs = append(vs, Violation{Kind: "restart-failed", Node: -1, Detail: err.Error()})
+	}
+	return vs
+}
+
+// Trace renders the per-round history of the run — what every honest
+// node committed and when — plus the fault schedule. It is printed on
+// invariant violations so a failure is diagnosable from the test log
+// alone, and the leading seed line makes the run replayable with
+// `go test ./internal/chaos -run TestChaosReplay -chaos.seed=N`.
+func (r *Result) Trace() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario: %s\n", r.Scenario.String())
+	fmt.Fprintf(&b, "replay:   go test ./internal/chaos -run TestChaosReplay -chaos.seed=%d\n", r.Scenario.Seed)
+	fmt.Fprintf(&b, "elapsed:  %v virtual (heal at %v)\n", r.Elapsed, r.HealAt)
+
+	// Aggregate Stats per round: value → committing nodes.
+	type commit struct {
+		nodes []int
+		final int
+		empty bool
+		last  time.Duration
+	}
+	rounds := map[uint64]map[string]*commit{}
+	for _, n := range r.Cluster.Nodes {
+		for _, st := range n.Stats {
+			if st.End == 0 || st.Round >= recoveryRoundBase {
+				continue
+			}
+			byVal := rounds[st.Round]
+			if byVal == nil {
+				byVal = map[string]*commit{}
+				rounds[st.Round] = byVal
+			}
+			key := fmt.Sprintf("%x", st.Value[:4])
+			cm := byVal[key]
+			if cm == nil {
+				cm = &commit{}
+				byVal[key] = cm
+			}
+			cm.nodes = append(cm.nodes, n.ID)
+			if st.Final {
+				cm.final++
+			}
+			cm.empty = st.Empty
+			if st.End > cm.last {
+				cm.last = st.End
+			}
+		}
+	}
+	var order []uint64
+	for rd := range rounds {
+		order = append(order, rd)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, rd := range order {
+		fmt.Fprintf(&b, "round %d:", rd)
+		var keys []string
+		for k := range rounds[rd] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			cm := rounds[rd][k]
+			tag := ""
+			if cm.empty {
+				tag = " empty"
+			}
+			fmt.Fprintf(&b, " [%s×%d final=%d%s by %v]", k, len(cm.nodes), cm.final, tag, cm.nodes)
+		}
+		fmt.Fprintf(&b, " done@%v\n", rounds[rd][keys[len(keys)-1]].last)
+	}
+	fmt.Fprintf(&b, "chains:  ")
+	for i, n := range r.Cluster.Nodes {
+		mark := ""
+		if r.Byzantine[i] {
+			mark = "b"
+		}
+		if r.Down[i] {
+			mark += "d"
+		}
+		fmt.Fprintf(&b, " n%d%s=%d", i, mark, n.Ledger().ChainLength())
+	}
+	b.WriteString("\n")
+	return b.String()
+}

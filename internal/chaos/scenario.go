@@ -1,0 +1,216 @@
+// Package chaos is the repo's systematic correctness layer: it runs
+// scenario-driven fault injection against whole simulated deployments
+// and machine-checks the paper's core claims — BA⋆ safety (§9,
+// Theorems 1–3), certificate validity (§8.3), liveness after faults
+// clear (§3 weak synchrony, §8.2 recovery), and seed-chain integrity
+// (§5.2). A Scenario is pure data derived from a single RNG seed, so
+// every run — including every fault draw inside it — replays exactly
+// from that seed.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// PartitionFault splits the network into [0,Cut) vs [Cut,N) for the
+// virtual-time window [Start, End): no messages cross the cut.
+type PartitionFault struct {
+	Start, End time.Duration
+	Cut        int
+}
+
+// LinkFault impairs matching links for [Start, End): transfers drop
+// with probability LossProb and are delayed by ExtraDelay plus uniform
+// jitter in [0, ExtraJitter). From/To select one ordered node pair;
+// -1 matches any sender/receiver.
+type LinkFault struct {
+	Start, End  time.Duration
+	LossProb    float64
+	ExtraDelay  time.Duration
+	ExtraJitter time.Duration
+	From, To    int
+}
+
+// CrashFault halts a node at At; if RestartAt > 0 a replacement is
+// started then, restoring the crashed node's archive and catching up
+// from peers (§8.3). RestartAt == 0 means the node stays down.
+type CrashFault struct {
+	Node      int
+	At        time.Duration
+	RestartAt time.Duration
+}
+
+// DoSFault silences the given nodes (all their traffic dropped, both
+// directions) for [Start, End) — a targeted denial of service on known
+// participants (§10.4 discusses why sortition makes this hard in
+// practice; here we model the attacker succeeding and demand recovery).
+type DoSFault struct {
+	Nodes      []int
+	Start, End time.Duration
+}
+
+// Scenario is a pure-data description of one adversarial run.
+type Scenario struct {
+	// Seed drives every random choice: topology, sortition identities,
+	// fault draws. Same seed, same run.
+	Seed int64
+	// Nodes is the deployment size; Rounds how many rounds honest nodes
+	// aim to complete.
+	Nodes  int
+	Rounds uint64
+
+	// Equivocators turns nodes 0..k-1 into the §10.4 attackers
+	// (conflicting block versions to different peers, double votes).
+	// Bounded by the paper's 20% Byzantine-weight assumption.
+	Equivocators int
+
+	Partitions []PartitionFault
+	LinkFaults []LinkFault
+	Crashes    []CrashFault
+	DoS        []DoSFault
+
+	// TStepOverride, when > 0, weakens every node's ordinary-step vote
+	// threshold until TStepRestoreAt — the §8.2 fork generator: during a
+	// partition both halves can then commit *tentative* blocks, and the
+	// recovery protocol must reconcile them after healing. The final-step
+	// threshold is never weakened, so no forked block can become final.
+	TStepOverride  float64
+	TStepRestoreAt time.Duration
+}
+
+// LastFaultClear returns the virtual time at which the last scheduled
+// fault has cleared; the §8.2 liveness demand starts there.
+func (s *Scenario) LastFaultClear() time.Duration {
+	var t time.Duration
+	max := func(d time.Duration) {
+		if d > t {
+			t = d
+		}
+	}
+	for _, p := range s.Partitions {
+		max(p.End)
+	}
+	for _, l := range s.LinkFaults {
+		max(l.End)
+	}
+	for _, c := range s.Crashes {
+		if c.RestartAt > 0 {
+			max(c.RestartAt)
+		} else {
+			max(c.At) // permanent: the *fault event* is over at the crash
+		}
+	}
+	for _, d := range s.DoS {
+		max(d.End)
+	}
+	max(s.TStepRestoreAt)
+	return t
+}
+
+// String summarizes the scenario for trace output.
+func (s *Scenario) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d n=%d rounds=%d", s.Seed, s.Nodes, s.Rounds)
+	if s.Equivocators > 0 {
+		fmt.Fprintf(&b, " equivocators=%d", s.Equivocators)
+	}
+	for _, p := range s.Partitions {
+		fmt.Fprintf(&b, " split[%v,%v)cut=%d", p.Start, p.End, p.Cut)
+	}
+	for _, l := range s.LinkFaults {
+		fmt.Fprintf(&b, " link[%v,%v)loss=%.2f delay=%v+%v from=%d to=%d",
+			l.Start, l.End, l.LossProb, l.ExtraDelay, l.ExtraJitter, l.From, l.To)
+	}
+	for _, c := range s.Crashes {
+		if c.RestartAt > 0 {
+			fmt.Fprintf(&b, " crash(n%d@%v,restart@%v)", c.Node, c.At, c.RestartAt)
+		} else {
+			fmt.Fprintf(&b, " crash(n%d@%v,down)", c.Node, c.At)
+		}
+	}
+	for _, d := range s.DoS {
+		fmt.Fprintf(&b, " dos(%v@[%v,%v))", d.Nodes, d.Start, d.End)
+	}
+	if s.TStepOverride > 0 {
+		fmt.Fprintf(&b, " tstep=%.2f until %v", s.TStepOverride, s.TStepRestoreAt)
+	}
+	return b.String()
+}
+
+// RandomScenario derives a scenario entirely from one seed: node count,
+// fault mix, windows, and targets. The draws keep every scenario inside
+// the paper's assumptions — Byzantine weight ≤ 20% (§2), all faults
+// bounded in time (weak synchrony, §3), at most one permanent crash —
+// so the invariants must hold on every generated run.
+func RandomScenario(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	s := Scenario{
+		Seed:   seed,
+		Nodes:  10 + rng.Intn(7),        // 10..16
+		Rounds: uint64(3 + rng.Intn(3)), // 3..5
+	}
+	sec := func(lo, hi int) time.Duration {
+		return time.Duration(lo+rng.Intn(hi-lo+1)) * time.Second
+	}
+
+	// ≤ 20% equivocating weight (all users hold equal stakes here).
+	s.Equivocators = rng.Intn(s.Nodes/5 + 1)
+
+	if rng.Float64() < 0.6 {
+		start := sec(2, 10)
+		s.Partitions = append(s.Partitions, PartitionFault{
+			Start: start,
+			End:   start + sec(10, 30),
+			Cut:   s.Nodes/4 + rng.Intn(s.Nodes/2),
+		})
+	}
+	if rng.Float64() < 0.5 {
+		start := sec(0, 8)
+		f := LinkFault{
+			Start:    start,
+			End:      start + sec(10, 25),
+			LossProb: 0.05 + 0.20*rng.Float64(),
+			From:     -1,
+			To:       -1,
+		}
+		if rng.Float64() < 0.5 {
+			f.ExtraDelay = time.Duration(rng.Intn(300)) * time.Millisecond
+			f.ExtraJitter = time.Duration(1+rng.Intn(200)) * time.Millisecond
+		}
+		if rng.Float64() < 0.3 { // sometimes impair a single ordered pair only
+			f.From = rng.Intn(s.Nodes)
+			f.To = rng.Intn(s.Nodes)
+		}
+		s.LinkFaults = append(s.LinkFaults, f)
+	}
+	if rng.Float64() < 0.5 {
+		at := sec(2, 12)
+		c := CrashFault{Node: rng.Intn(s.Nodes), At: at}
+		if rng.Float64() < 0.75 {
+			c.RestartAt = at + sec(5, 20)
+		}
+		s.Crashes = append(s.Crashes, c)
+	}
+	if rng.Float64() < 0.4 {
+		k := 1 + rng.Intn(s.Nodes/8+1)
+		victims := make([]int, 0, k)
+		for len(victims) < k {
+			v := rng.Intn(s.Nodes)
+			dup := false
+			for _, w := range victims {
+				if w == v {
+					dup = true
+				}
+			}
+			if !dup {
+				victims = append(victims, v)
+			}
+		}
+		start := sec(3, 10)
+		s.DoS = append(s.DoS, DoSFault{Nodes: victims, Start: start, End: start + sec(8, 20)})
+	}
+	return s
+}

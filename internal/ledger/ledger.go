@@ -265,8 +265,13 @@ func (l *Ledger) ValidateBlock(b *Block, now time.Duration) error {
 func (l *Ledger) Commit(b *Block, cert *Certificate) error {
 	h := b.Hash()
 	if _, dup := l.entries[h]; dup {
-		// Already known; possibly update certificate finality.
+		// Already known; attach a certificate the entry lacks (e.g. a
+		// §8.2 recovery certificate for a block first seen uncertified)
+		// or upgrade certificate finality.
 		e := l.entries[h]
+		if cert != nil && e.cert == nil {
+			e.cert = cert
+		}
 		if cert != nil && cert.Final && !e.final {
 			e.final = true
 			e.cert = cert

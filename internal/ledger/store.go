@@ -65,6 +65,36 @@ func (s *Store) Put(b *Block, c *Certificate) bool {
 	return true
 }
 
+// Reconcile forces the archive to the canonical block for a round,
+// replacing whatever was stored — used after §8.2 fork recovery, when
+// the block this node originally archived for a round may belong to an
+// abandoned fork. A nil certificate erases any stored one (recovery
+// adoptions have no certificate of their own).
+func (s *Store) Reconcile(b *Block, c *Certificate) {
+	if !s.responsible(b.Round) {
+		return
+	}
+	if prev, ok := s.blocks[b.Round]; ok {
+		if prev.Hash() == b.Hash() {
+			if c != nil {
+				s.Put(b, c)
+			}
+			return
+		}
+		s.Bytes -= int64(prev.WireSize())
+	}
+	s.blocks[b.Round] = b
+	s.Bytes += int64(b.WireSize())
+	if prev, ok := s.certs[b.Round]; ok {
+		s.Bytes -= int64(prev.WireSize())
+		delete(s.certs, b.Round)
+	}
+	if c != nil {
+		s.certs[b.Round] = c
+		s.Bytes += int64(c.WireSize())
+	}
+}
+
 // Block returns the stored block for a round.
 func (s *Store) Block(round uint64) (*Block, bool) {
 	b, ok := s.blocks[round]

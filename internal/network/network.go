@@ -80,6 +80,15 @@ type Config struct {
 	VMBps      int64
 	// JitterFrac adds ±JitterFrac×latency of uniform jitter per message.
 	JitterFrac float64
+	// SeenTTL bounds the duplicate-suppression and relay-limit caches in
+	// time: an entry suppresses matching messages for between one and two
+	// TTLs, then is forgotten. Real gossip implementations time-bound
+	// these caches to bound memory; here expiry is also what keeps a
+	// *retried* BA⋆ round live — the §8.4 relay limit is keyed by
+	// (sender, round, step), and if a failed attempt's keys never expired,
+	// the retry's fresh votes would reach direct peers but never be
+	// relayed, wedging the round forever. Zero disables expiry.
+	SeenTTL time.Duration
 	// Seed drives all of the network's randomness.
 	Seed int64
 }
@@ -91,6 +100,7 @@ func DefaultConfig() Config {
 		UplinkBps:   20_000_000,
 		DownlinkBps: 20_000_000,
 		JitterFrac:  0.10,
+		SeenTTL:     time.Minute,
 		Seed:        1,
 	}
 }
@@ -128,8 +138,15 @@ type endpoint struct {
 
 	up, down *link // possibly shared across a VM
 
+	// seen/limitSeen are the current generation of the duplicate and
+	// relay-limit caches; seenOld/limitOld the previous one. Lookups
+	// consult both, inserts go to the current, and rotation (driven by
+	// Config.SeenTTL) drops the old generation — giving every entry a
+	// lifetime between one and two TTLs.
 	seen      map[crypto.Digest]bool
+	seenOld   map[crypto.Digest]bool
 	limitSeen map[string]int
+	limitOld  map[string]int
 	cpuFree   time.Duration
 
 	// Stats
@@ -137,7 +154,27 @@ type endpoint struct {
 	BytesReceived int64
 	MsgsReceived  int64
 	DupsDropped   int64
+	MsgsLost      int64 // outgoing transfers dropped by link faults
 	CPUUsed       time.Duration
+}
+
+// LinkFault is a scripted per-link impairment (chaos testing): matched
+// transfers are dropped with probability LossProb and/or delayed by
+// ExtraDelay plus a uniform draw in [0, ExtraJitter). Loss and jitter
+// draws come from the network's dedicated fault RNG (see SeedFaults),
+// so a run with a fixed seed replays the exact same drops and delays.
+type LinkFault struct {
+	// Match selects the links the fault applies to; nil matches every
+	// link.
+	Match func(from, to int) bool
+	// Active gates the fault by virtual time; nil means always active.
+	Active func(now time.Duration) bool
+	// LossProb is the per-transfer drop probability in [0, 1].
+	LossProb float64
+	// ExtraDelay is added to the link's propagation latency.
+	ExtraDelay time.Duration
+	// ExtraJitter adds a further uniform delay in [0, ExtraJitter).
+	ExtraJitter time.Duration
 }
 
 // Network is the simulated gossip network.
@@ -149,12 +186,26 @@ type Network struct {
 	// weights drives money-weighted peer selection.
 	weights []uint64
 
-	// partition, when set, drops transfers for which it returns true.
-	partition func(from, to int) bool
+	// partitions holds the installed message filters; a transfer is
+	// dropped when ANY filter returns true (the OR composition lets
+	// independently scripted faults — a world split and a targeted DoS,
+	// say — apply simultaneously).
+	partitions []func(from, to int) bool
+
+	// faults are the installed link impairments; faultRng drives their
+	// loss and jitter draws, separate from the topology RNG so that
+	// installing a fault never perturbs peer selection.
+	faults   []LinkFault
+	faultRng *rand.Rand
+
+	// lastRotate is the virtual time of the last seen-cache rotation.
+	lastRotate time.Duration
 
 	// Global stats
 	TotalBytes int64
 	TotalMsgs  int64
+	// TotalLost counts transfers dropped by link faults (not partitions).
+	TotalLost int64
 }
 
 // New creates a network of n nodes on sim. Handlers start nil; call
@@ -283,11 +334,79 @@ func (nw *Network) Peers(id int) []int { return nw.eps[id].peers }
 // Neighbors returns node id's full relay set (outgoing ∪ incoming).
 func (nw *Network) Neighbors(id int) []int { return nw.eps[id].neighbors }
 
-// SetPartition installs a message filter: when it returns true for
-// (from, to), the transfer is silently dropped. Used to script network
-// partitions (weak synchrony, §3). Pass nil to heal.
+// SetPartition replaces all installed partition filters with f: when it
+// returns true for (from, to), the transfer is silently dropped. Used to
+// script network partitions (weak synchrony, §3). Pass nil to heal
+// everything. Use AddPartition to compose several concurrent faults.
 func (nw *Network) SetPartition(f func(from, to int) bool) {
-	nw.partition = f
+	if f == nil {
+		nw.partitions = nil
+		return
+	}
+	nw.partitions = []func(from, to int) bool{f}
+}
+
+// AddPartition installs an additional message filter alongside the
+// existing ones; a transfer is dropped when any installed filter matches
+// it. Filters that script a bounded window should gate on virtual time
+// internally (they are cheap to keep installed after expiry).
+func (nw *Network) AddPartition(f func(from, to int) bool) {
+	nw.partitions = append(nw.partitions, f)
+}
+
+// Partitioned reports whether the installed filters would currently drop
+// a transfer from one node to another.
+func (nw *Network) Partitioned(from, to int) bool {
+	for _, f := range nw.partitions {
+		if f(from, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// SeedFaults (re)seeds the RNG that drives link-fault loss and jitter
+// draws. Chaos harnesses call it with the scenario seed so that a run is
+// an exact function of (program, scenario). Without an explicit call the
+// fault RNG is seeded from the network config's Seed.
+func (nw *Network) SeedFaults(seed int64) {
+	nw.faultRng = rand.New(rand.NewSource(seed))
+}
+
+// AddLinkFault installs a link impairment. Faults accumulate; a transfer
+// suffers every matching fault (losses compound, delays add).
+func (nw *Network) AddLinkFault(f LinkFault) {
+	if nw.faultRng == nil {
+		nw.SeedFaults(nw.cfg.Seed)
+	}
+	nw.faults = append(nw.faults, f)
+}
+
+// ClearLinkFaults removes every installed link fault.
+func (nw *Network) ClearLinkFaults() { nw.faults = nil }
+
+// applyFaults runs the installed link faults for one transfer at the
+// given virtual time. It reports whether the transfer is dropped and, if
+// not, the total extra latency to add.
+func (nw *Network) applyFaults(from, to int, now time.Duration) (bool, time.Duration) {
+	var extra time.Duration
+	for i := range nw.faults {
+		f := &nw.faults[i]
+		if f.Active != nil && !f.Active(now) {
+			continue
+		}
+		if f.Match != nil && !f.Match(from, to) {
+			continue
+		}
+		if f.LossProb > 0 && nw.faultRng.Float64() < f.LossProb {
+			return true, 0
+		}
+		extra += f.ExtraDelay
+		if f.ExtraJitter > 0 {
+			extra += time.Duration(nw.faultRng.Int63n(int64(f.ExtraJitter)))
+		}
+	}
+	return false, extra
 }
 
 // NumNodes returns the network size.
@@ -296,9 +415,39 @@ func (nw *Network) NumNodes() int { return len(nw.eps) }
 // City returns the city a node is assigned to.
 func (nw *Network) City(id int) int { return nw.eps[id].city }
 
+// sawID reports whether the endpoint already processed the message, in
+// either cache generation.
+func (ep *endpoint) sawID(id crypto.Digest) bool {
+	return ep.seen[id] || ep.seenOld[id]
+}
+
+// limitCount is the §8.4 relay count for a LimitKey across both cache
+// generations.
+func (ep *endpoint) limitCount(k string) int {
+	return ep.limitSeen[k] + ep.limitOld[k]
+}
+
+// maybeRotate ages the suppression caches once per SeenTTL of virtual
+// time: the current generation becomes the old one and the previous
+// old generation is forgotten.
+func (nw *Network) maybeRotate() {
+	ttl := nw.cfg.SeenTTL
+	if ttl <= 0 {
+		return
+	}
+	if now := nw.sim.Now(); now-nw.lastRotate >= ttl {
+		nw.lastRotate = now
+		for _, ep := range nw.eps {
+			ep.seenOld, ep.seen = ep.seen, make(map[crypto.Digest]bool)
+			ep.limitOld, ep.limitSeen = ep.limitSeen, make(map[string]int)
+		}
+	}
+}
+
 // Gossip injects a message originated by node origin: it is sent to all
 // of origin's peers and relayed onward per the gossip rules.
 func (nw *Network) Gossip(origin int, m Message) {
+	nw.maybeRotate()
 	ep := nw.eps[origin]
 	ep.seen[m.ID()] = true
 	if k := m.LimitKey(); k != "" {
@@ -327,11 +476,21 @@ func (nw *Network) relay(from, skip int, m Message) {
 
 // send models one point-to-point transfer and schedules delivery.
 func (nw *Network) send(from, to int, m Message) {
-	if nw.partition != nil && nw.partition(from, to) {
+	now := nw.sim.Now()
+	if nw.Partitioned(from, to) {
 		return
 	}
+	var faultDelay time.Duration
+	if len(nw.faults) > 0 {
+		drop, extra := nw.applyFaults(from, to, now)
+		if drop {
+			nw.eps[from].MsgsLost++
+			nw.TotalLost++
+			return
+		}
+		faultDelay = extra
+	}
 	src, dst := nw.eps[from], nw.eps[to]
-	now := nw.sim.Now()
 	size := m.WireSize()
 
 	src.BytesSent += int64(size)
@@ -343,6 +502,7 @@ func (nw *Network) send(from, to int, m Message) {
 		j := nw.cfg.JitterFrac * (2*nw.rng.Float64() - 1)
 		lat += time.Duration(float64(lat) * j)
 	}
+	lat += faultDelay
 	arrive := upDone + lat
 	// Downlink reservation is made against its state at send time; with
 	// event-driven delivery this is a standard approximation.
@@ -355,9 +515,10 @@ func (nw *Network) send(from, to int, m Message) {
 
 // deliver runs at the receiver when the message finishes arriving.
 func (nw *Network) deliver(from, to int, m Message) {
+	nw.maybeRotate()
 	ep := nw.eps[to]
 	ep.BytesReceived += int64(m.WireSize())
-	if ep.seen[m.ID()] {
+	if ep.sawID(m.ID()) {
 		ep.DupsDropped++
 		return
 	}
@@ -387,7 +548,7 @@ func (nw *Network) deliver(from, to int, m Message) {
 		if mr, ok := m.(MultiRelay); ok {
 			limit = mr.RelayLimit()
 		}
-		if ep.limitSeen[k] >= limit {
+		if ep.limitCount(k) >= limit {
 			return
 		}
 		ep.limitSeen[k]++
@@ -407,6 +568,7 @@ type Stats struct {
 	BytesReceived int64
 	MsgsReceived  int64
 	DupsDropped   int64
+	MsgsLost      int64
 	CPUUsed       time.Duration
 }
 
@@ -418,16 +580,18 @@ func (nw *Network) NodeStats(id int) Stats {
 		BytesReceived: ep.BytesReceived,
 		MsgsReceived:  ep.MsgsReceived,
 		DupsDropped:   ep.DupsDropped,
+		MsgsLost:      ep.MsgsLost,
 		CPUUsed:       ep.CPUUsed,
 	}
 }
 
-// ResetSeen clears duplicate-suppression state; simulations call this
-// between rounds to bound memory (message IDs embed the round, so
-// cross-round collisions cannot occur).
+// ResetSeen clears all duplicate-suppression state at once — the
+// forced version of what SeenTTL rotation does gradually.
 func (nw *Network) ResetSeen() {
 	for _, ep := range nw.eps {
 		ep.seen = make(map[crypto.Digest]bool)
+		ep.seenOld = nil
 		ep.limitSeen = make(map[string]int)
+		ep.limitOld = nil
 	}
 }

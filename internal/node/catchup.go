@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"algorand/internal/agreement"
+	"algorand/internal/crypto"
 	"algorand/internal/ledger"
 	"algorand/internal/network"
 	"algorand/internal/vtime"
@@ -25,19 +26,28 @@ func (n *Node) handleChainRequest(msg *ChainRequest) network.Verdict {
 	if max <= 0 || max > 64 {
 		max = 64
 	}
+	// Serve the canonical chain, not the raw archive: after §8.2
+	// recovery the archive may still hold an abandoned fork's block for
+	// an adopted round. Blocks without a certificate of their own
+	// (recovery adoptions) are included only up to the last certified
+	// block — beyond that the receiver could not validate them.
 	reply := &ChainReply{Recipient: msg.Requester, Nonce: msg.Nonce}
+	var blocks []*ledger.Block
+	var certs []*ledger.Certificate
+	servable := 0
 	for r := msg.FromRound; r < msg.FromRound+uint64(max); r++ {
-		b, ok := n.store.Block(r)
+		b, ok := n.ledger.BlockAt(r)
 		if !ok {
 			break
 		}
-		c, ok := n.store.Cert(r)
-		if !ok {
-			break
+		blocks = append(blocks, b)
+		if c, ok := n.ledger.Certificate(b.Hash()); ok {
+			certs = append(certs, c)
+			servable = len(blocks)
 		}
-		reply.Blocks = append(reply.Blocks, b)
-		reply.Certs = append(reply.Certs, c)
 	}
+	reply.Blocks = blocks[:servable]
+	reply.Certs = certs
 	if len(reply.Blocks) > 0 {
 		n.net.Unicast(n.ID, msg.Requester, reply)
 	}
@@ -56,43 +66,144 @@ func (n *Node) committeeParams() ledger.CommitteeParams {
 	}
 }
 
-// applyChainReply validates and commits a reply's blocks in order,
-// returning how many rounds advanced.
-func (n *Node) applyChainReply(reply *ChainReply) (int, error) {
-	if len(reply.Blocks) != len(reply.Certs) {
-		return 0, fmt.Errorf("catchup: %d blocks, %d certs", len(reply.Blocks), len(reply.Certs))
+// applyRound validates block b against certificate cert at the current
+// ledger head, commits it, and archives it — the trustless per-round
+// step shared by network catch-up and crash-restart archive replay.
+func (n *Node) applyRound(b *ledger.Block, cert *ledger.Certificate, cp ledger.CommitteeParams) error {
+	if cert.Value != b.Hash() {
+		return fmt.Errorf("round %d cert/block mismatch", b.Round)
 	}
-	cp := n.committeeParams()
-	applied := 0
-	for i, b := range reply.Blocks {
-		if b.Round != n.ledger.NextRound() {
-			continue // stale or ahead; ignore
+	if cert.Round >= recoveryRoundBase {
+		// The block was adopted by §8.2 recovery; its proof is the
+		// recovery round's certificate, verified from the self-describing
+		// recovery context instead of the chain round's.
+		if err := VerifyRecoveryCert(n.provider, n.ledger, b, cert, cp); err != nil {
+			return fmt.Errorf("round %d recovery cert: %w", b.Round, err)
 		}
-		cert := reply.Certs[i]
-		if cert.Value != b.Hash() {
-			return applied, fmt.Errorf("catchup: round %d cert/block mismatch", b.Round)
-		}
+	} else {
 		seed := n.ledger.SortitionSeed(b.Round)
 		weights, total := n.ledger.SortitionWeights(b.Round)
 		tau, threshold := cp.TauStep, cp.StepThreshold
 		if cert.Final {
 			tau, threshold = cp.TauFinal, cp.FinalThreshold
 		} else if cp.MaxStep != 0 && cert.Step > cp.MaxStep {
-			return applied, fmt.Errorf("catchup: round %d absurd step %d", b.Round, cert.Step)
+			return fmt.Errorf("round %d absurd step %d", b.Round, cert.Step)
 		}
 		if err := cert.Verify(n.provider, seed, weights, total, tau, threshold, n.ledger.HeadHash()); err != nil {
-			return applied, fmt.Errorf("catchup: round %d cert: %w", b.Round, err)
+			return fmt.Errorf("round %d cert: %w", b.Round, err)
 		}
-		if err := n.ledger.ValidateBlock(b, b.Timestamp+n.cfg.LedgerCfg.MaxTimestampSkew); err != nil {
-			return applied, fmt.Errorf("catchup: round %d block: %w", b.Round, err)
-		}
-		if err := n.ledger.Commit(b, cert); err != nil {
-			return applied, fmt.Errorf("catchup: round %d commit: %w", b.Round, err)
-		}
-		n.store.Put(b, cert)
-		applied++
 	}
+	if err := n.ledger.ValidateBlock(b, b.Timestamp+n.cfg.LedgerCfg.MaxTimestampSkew); err != nil {
+		return fmt.Errorf("round %d block: %w", b.Round, err)
+	}
+	if err := n.ledger.Commit(b, cert); err != nil {
+		return fmt.Errorf("round %d commit: %w", b.Round, err)
+	}
+	n.store.Put(b, cert)
+	return nil
+}
+
+// applyChainReply validates and commits a reply's blocks in order,
+// returning how many rounds advanced.
+func (n *Node) applyChainReply(reply *ChainReply) (int, error) {
+	cp := n.committeeParams()
+	certOf := make(map[crypto.Digest]*ledger.Certificate, len(reply.Certs))
+	for _, c := range reply.Certs {
+		certOf[c.Value] = c
+	}
+	applied := 0
+	var pending []*ledger.Block
+	for _, b := range reply.Blocks {
+		if b.Round != n.ledger.NextRound()+uint64(len(pending)) {
+			continue // stale or ahead; ignore
+		}
+		cert, ok := certOf[b.Hash()]
+		if !ok {
+			// A §8.2 recovery adoption: no certificate of its own. It is
+			// acceptable only on the strength of a later certificate in
+			// this reply, whose block commits to it through PrevHash.
+			pending = append(pending, b)
+			continue
+		}
+		k, err := n.applyCertifiedRun(pending, b, cert, cp)
+		applied += k
+		pending = nil
+		if err != nil {
+			return applied, fmt.Errorf("catchup: %w", err)
+		}
+	}
+	// Trailing blocks with no certificate anchor are unverifiable; the
+	// sender should not have included them, and we must not trust them.
 	return applied, nil
+}
+
+// applyCertifiedRun commits an uncertified prefix plus the certified
+// block cb on top of it. The certificate commits to cb, and cb commits
+// to every ancestor through the PrevHash chain, so one valid
+// certificate transitively validates the entire run (§8.3) — this is
+// what lets catch-up cross rounds the network adopted during fork
+// recovery, which carry no certificate of their own. The prefix is
+// committed tentatively; if the anchoring certificate fails to verify,
+// the head is restored and the tentative entries are left behind as a
+// dead side branch.
+func (n *Node) applyCertifiedRun(pending []*ledger.Block, cb *ledger.Block, cert *ledger.Certificate, cp ledger.CommitteeParams) (int, error) {
+	prevHead := n.ledger.HeadHash()
+	prev := prevHead
+	for _, b := range pending {
+		if b.PrevHash != prev {
+			return 0, fmt.Errorf("round %d breaks the hash chain", b.Round)
+		}
+		prev = b.Hash()
+	}
+	if cb.PrevHash != prev {
+		return 0, fmt.Errorf("round %d certified block breaks the hash chain", cb.Round)
+	}
+	for _, b := range pending {
+		if err := n.ledger.ValidateBlock(b, b.Timestamp+n.cfg.LedgerCfg.MaxTimestampSkew); err != nil {
+			n.ledger.SwitchHead(prevHead)
+			return 0, fmt.Errorf("round %d block: %w", b.Round, err)
+		}
+		if err := n.ledger.Commit(b, nil); err != nil {
+			n.ledger.SwitchHead(prevHead)
+			return 0, fmt.Errorf("round %d commit: %w", b.Round, err)
+		}
+	}
+	if err := n.applyRound(cb, cert, cp); err != nil {
+		n.ledger.SwitchHead(prevHead)
+		return 0, err
+	}
+	// The whole run is certificate-backed now; archive the prefix too.
+	for _, b := range pending {
+		n.store.Reconcile(b, nil)
+	}
+	return len(pending) + 1, nil
+}
+
+// RestoreFromArchive replays a crashed node's archive (§8.3) into this
+// node's ledger, validating every block against its certificate exactly
+// as network catch-up does — the restarting node trusts its disk no more
+// than it trusts a peer. Replay stops at the first round whose block or
+// certificate is missing from the archive (recovery-adopted blocks are
+// committed without certificates, so gaps are legitimate); the remainder
+// is fetched from peers. Returns the number of rounds restored.
+func (n *Node) RestoreFromArchive(src *ledger.Store) (uint64, error) {
+	cp := n.committeeParams()
+	var restored uint64
+	for {
+		r := n.ledger.NextRound()
+		b, ok := src.Block(r)
+		if !ok {
+			return restored, nil
+		}
+		c, ok := src.Cert(r)
+		if !ok {
+			return restored, nil
+		}
+		if err := n.applyRound(b, c, cp); err != nil {
+			return restored, fmt.Errorf("restore: %w", err)
+		}
+		restored++
+	}
 }
 
 // SyncFromPeers catches the node's ledger up to the network (§8.3):
@@ -171,6 +282,57 @@ func (n *Node) StartObserver(deadline time.Duration, done func(uint64, error)) {
 		if done != nil {
 			done(got, err)
 		}
+	})
+}
+
+// trySyncBehind probes peers for committed rounds we are missing, in
+// short bounded bites so a genuinely stalled network (nobody has more
+// blocks than we do) costs only ~10 virtual seconds before the caller
+// falls through to §8.2 recovery. Returns whether the chain advanced.
+func (n *Node) trySyncBehind() bool {
+	before := n.ledger.ChainLength()
+	for !n.halted {
+		prev := n.ledger.ChainLength()
+		if _, err := n.SyncFromPeersUntil(n.proc, n.proc.Now()+10*time.Second, 0); err != nil {
+			break // peer data conflicts with our chain: that is a fork, not lag
+		}
+		if n.ledger.ChainLength() == prev {
+			break
+		}
+	}
+	return n.ledger.ChainLength() > before
+}
+
+// StartAfterSync spawns the node's process in rejoin mode: it catches
+// up from peers, then attempts a live round; if that round fails — the
+// network had moved on while we synced — it re-syncs and tries again
+// instead of invoking §8.2 fork recovery (a node that is merely behind
+// is not forked). Once a round completes in lockstep it falls into the
+// regular loop. syncBudget bounds the rejoin phase; a cycle that syncs
+// nothing AND fails its round ends it early, because spinning cannot
+// help then — peers have nothing servable beyond our head, so either
+// the whole network is stalled or we are forked from it. Both are the
+// main loop's job: its checkpoints run §8.2 recovery.
+func (n *Node) StartAfterSync(syncBudget time.Duration) {
+	n.sim.Spawn(fmt.Sprintf("node-%d-rejoin", n.ID), func(p *vtime.Proc) {
+		n.proc = p
+		deadline := p.Now() + syncBudget
+		for !n.sim.Stopped() && !n.halted {
+			before := n.ledger.ChainLength()
+			if _, err := n.SyncFromPeersUntil(p, deadline, 0); err != nil {
+				return // inconsistent peer data; give up rather than diverge
+			}
+			if n.StopAfterRound > 0 && n.ledger.NextRound() > n.StopAfterRound {
+				return
+			}
+			if err := n.runRound(); err == nil {
+				break // back in lockstep with the network
+			}
+			if p.Now() >= deadline || n.ledger.ChainLength() == before {
+				break
+			}
+		}
+		n.run()
 	})
 }
 

@@ -127,6 +127,10 @@ type Node struct {
 	// chainReplies receives §8.3 catch-up replies (see catchup.go).
 	chainReplies *vtime.Mailbox
 
+	// halted marks a simulated crash: the node stops handling and
+	// emitting messages and its process winds down (see Halt).
+	halted bool
+
 	// alienVotes counts votes rejected for extending a different chain —
 	// the fork signal that triggers recovery participation (§8.2).
 	alienVotes int
@@ -216,9 +220,23 @@ func (n *Node) PublicKey() crypto.PublicKey { return n.identity.PublicKey() }
 
 // SubmitTx adds a transaction locally and gossips it (Figure 1 step 1).
 func (n *Node) SubmitTx(tx *ledger.Transaction) {
+	if n.halted {
+		return
+	}
 	n.pool.Add(tx)
 	n.net.Gossip(n.ID, &TxMsg{Tx: *tx})
 }
+
+// Halt simulates a crash: the node stops handling incoming messages,
+// emitting votes, proposing, and serving its archive. Its process winds
+// down silently at the next round boundary (an in-flight round can no
+// longer complete without the node's own votes). Ledger and Store keep
+// their state, as a crashed machine's disk would — a replacement node
+// for the same slot can RestoreFromArchive and rejoin.
+func (n *Node) Halt() { n.halted = true }
+
+// Halted reports whether the node has been crashed via Halt.
+func (n *Node) Halted() bool { return n.halted }
 
 func (n *Node) voteInbox(round, step uint64) *vtime.Mailbox {
 	k := [2]uint64{round, step}
@@ -250,6 +268,9 @@ func (n *Node) costs() crypto.CostModel {
 // handleMessage validates and routes one delivered gossip message. It
 // runs in scheduler context (§8.4: validate before relaying).
 func (n *Node) handleMessage(from int, m network.Message) network.Verdict {
+	if n.halted {
+		return network.Verdict{}
+	}
 	cost := n.costs()
 	switch msg := m.(type) {
 	case *TxMsg:
@@ -346,11 +367,17 @@ func (n *Node) handleVote(msg *VoteMsg, cost crypto.CostModel) network.Verdict {
 
 func (n *Node) handlePriority(msg *PriorityGossip, cost crypto.CostModel) network.Verdict {
 	cpu := cost.VerifySig + cost.VRFVerify
+	m := &msg.M
 	ctx := n.ctx
+	if m.Round >= recoveryRoundBase && (ctx == nil || ctx.Round != m.Round) {
+		// §8.2 recovery contexts are self-describing: rebuild this one so
+		// the attempt's proposals verify, buffer, and relay even on nodes
+		// that are not (yet) inside that attempt.
+		ctx = n.recoveryCtxForRound(m.Round)
+	}
 	if ctx == nil {
 		return network.Verdict{Relay: false}
 	}
-	m := &msg.M
 	switch {
 	case m.Round == ctx.Round:
 		roleKind := n.proposerRoleKind(m.Round)
@@ -381,11 +408,14 @@ func (n *Node) handlePriority(msg *PriorityGossip, cost crypto.CostModel) networ
 // announcer (pull-based dissemination).
 func (n *Node) handleAnnounce(msg *BlockAnnounce, cost crypto.CostModel) network.Verdict {
 	cpu := cost.VerifySig + cost.VRFVerify
+	m := &msg.M
 	ctx := n.ctx
+	if m.Round >= recoveryRoundBase && (ctx == nil || ctx.Round != m.Round) {
+		ctx = n.recoveryCtxForRound(m.Round) // see handlePriority
+	}
 	if ctx == nil {
 		return network.Verdict{Relay: false}
 	}
-	m := &msg.M
 	switch {
 	case m.Round == ctx.Round:
 		roleKind := n.proposerRoleKind(m.Round)
@@ -460,11 +490,14 @@ func (n *Node) handleBlock(msg *BlockGossip, cost crypto.CostModel) network.Verd
 	// vote/VRF verification, §10.3), so padding costs bandwidth but not
 	// CPU.
 	cpu := cost.VRFVerify + time.Duration(len(m.Block.Txns))*cost.VerifySig
+	round := m.Round()
 	ctx := n.ctx
+	if round >= recoveryRoundBase && (ctx == nil || ctx.Round != round) {
+		ctx = n.recoveryCtxForRound(round) // see handlePriority
+	}
 	if ctx == nil {
 		return network.Verdict{Relay: false}
 	}
-	round := m.Round()
 	switch {
 	case round == ctx.Round:
 		roleKind := n.proposerRoleKind(round)
@@ -558,6 +591,9 @@ func (n *Node) setContext(ctx *agreement.Context) {
 // gossipVote publishes one of our votes and counts it locally (a
 // committee member processes its own message too).
 func (n *Node) gossipVote(v *ledger.Vote) {
+	if n.halted {
+		return
+	}
 	votes := []*ledger.Vote{v}
 	if n.VoteSaboteur != nil {
 		votes = n.VoteSaboteur(n, v)
@@ -597,9 +633,15 @@ func (n *Node) Start() {
 	})
 }
 
+// DebugRound, when set by tests, observes every failed round attempt.
+var DebugRound func(id int, round uint64, now time.Duration, err error)
+
 func (n *Node) run() {
 	lastRecoveryCheck := time.Duration(0)
 	for !n.sim.Stopped() {
+		if n.halted {
+			return
+		}
 		if n.StopAfterRound > 0 && n.ledger.NextRound() > n.StopAfterRound {
 			return
 		}
@@ -607,20 +649,61 @@ func (n *Node) run() {
 		// forks, run the recovery protocol before the next round.
 		checkpoint := n.proc.Now() / n.cfg.RecoveryInterval
 		if checkpoint > lastRecoveryCheck/n.cfg.RecoveryInterval {
-			if n.alienVotes > 0 || len(n.ledger.ForkTips()) > 1 {
+			if n.alienVotes > 0 || n.liveFork() {
 				n.recover()
 			}
 		}
 		lastRecoveryCheck = n.proc.Now()
 
 		if err := n.runRound(); err != nil {
+			if DebugRound != nil {
+				DebugRound(n.ID, n.ledger.NextRound(), n.proc.Now(), err)
+			}
+			// The round may have failed because we fell behind the network
+			// (an outage on our links) rather than because consensus
+			// stalled globally: try §8.3 catch-up from peers first. A node
+			// that is merely behind is not forked and must not wait for a
+			// recovery checkpoint.
+			if n.trySyncBehind() {
+				// Caught up — but only rejoin immediately if the next
+				// round can finish before the next recovery checkpoint.
+				// A round spanning the checkpoint makes this node miss
+				// the one moment the network reassembles (§8.2 recovery
+				// and round retries run on the checkpoint grid), and a
+				// few off-grid nodes can starve everyone's quorum when
+				// committees are small.
+				next := (n.proc.Now()/n.cfg.RecoveryInterval + 1) * n.cfg.RecoveryInterval
+				if n.proc.Now()+n.roundBudget() > next {
+					n.proc.Sleep(next - n.proc.Now())
+				}
+				continue
+			}
 			// No consensus within MaxSteps: wait for the next recovery
 			// checkpoint (loosely synchronized clocks), then recover.
 			next := (n.proc.Now()/n.cfg.RecoveryInterval + 1) * n.cfg.RecoveryInterval
 			n.proc.Sleep(next - n.proc.Now())
+			if n.halted {
+				return
+			}
 			n.recover()
 		}
 	}
+}
+
+// liveFork reports whether the ledger holds a competing branch at least
+// as long as the canonical one. Shorter dead-end branches — losers of an
+// already completed recovery — stay in the ledger forever, but they are
+// not evidence of live disagreement and must not drag the node back into
+// recovery at every checkpoint.
+func (n *Node) liveFork() bool {
+	headRound := n.ledger.NextRound() - 1
+	head := n.ledger.HeadHash()
+	for _, tip := range n.ledger.ForkTips() {
+		if tip.Round >= headRound && tip.Hash() != head {
+			return true
+		}
+	}
+	return false
 }
 
 // runRound executes one complete round: propose, wait, BA⋆, commit.

@@ -292,11 +292,16 @@ func TestObserverRejectsTamperedReply(t *testing.T) {
 		blocks = append(blocks, b)
 		certs = append(certs, cert)
 	}
-	// Tamper: swap round 2's certificate onto round 1's block.
+	// Tamper: alter round 1's block content. Its own certificate no
+	// longer matches the forged hash, and the round-2 PrevHash link —
+	// which could otherwise validate an uncertified block transitively —
+	// breaks too, so validation must reject the run either way.
 	if len(blocks) < 2 {
 		t.Skip("need >=2 rounds")
 	}
-	certs[0] = certs[1]
+	forged := *blocks[0]
+	forged.Timestamp++
+	blocks[0] = &forged
 
 	observer := node.New(0, c.Sim, c.Net, c.Provider, c.Identity(0), node.Config{
 		Params:    cfg.Params,

@@ -1,6 +1,9 @@
 package node
 
 import (
+	"fmt"
+	"time"
+
 	"algorand/internal/agreement"
 	"algorand/internal/blockprop"
 	"algorand/internal/crypto"
@@ -28,45 +31,120 @@ var DebugRecovery func(id int, recRound uint64, proposed crypto.Digest, out agre
 // property the paper's quantization is after, available exactly in a
 // deterministic simulation.
 func (n *Node) recover() {
-	checkpoint := uint64(n.proc.Now() / n.cfg.RecoveryInterval)
+	ri := n.cfg.RecoveryInterval
+	checkpoint := uint64(n.proc.Now() / ri)
+	// Recovery only works when the whole network attends the same
+	// checkpoint (§8.2 runs at predetermined times on loosely
+	// synchronized clocks): a minority-side recovery can never reach the
+	// vote threshold. So never let the attempt sequence spill past this
+	// window — stop early enough to retry one regular round and still
+	// make the next checkpoint, or two wedged partitions end up
+	// attending alternating checkpoints forever.
+	windowEnd := time.Duration(checkpoint+1)*ri - n.roundBudget()
+	// Re-align before resuming regular rounds. Nodes leave the attempt
+	// loop at different times (winners after k attempts, losers at the
+	// window bound), and a regular round needs most of the committee
+	// running it *concurrently* to reach quorum — staggered retries fail
+	// one by one forever. windowEnd is on the shared checkpoint grid, so
+	// sleeping to it puts every recovering node's retry round in lockstep
+	// with exactly one round budget left before the next checkpoint.
+	defer func() {
+		n.alienVotes = 0
+		if d := windowEnd - n.proc.Now(); d > 0 {
+			n.proc.Sleep(d)
+		}
+	}()
 	for attempt := 0; attempt < n.cfg.MaxRecoveryAttempts; attempt++ {
+		// A failed attempt takes up to one round budget, so gate on the
+		// attempt *finishing* by windowEnd — an attempt that merely starts
+		// before the bound overruns it, pushes the retry round across the
+		// next checkpoint, and takes this node off the grid for a whole
+		// extra window.
+		if attempt > 0 && n.proc.Now()+n.roundBudget() > windowEnd {
+			break
+		}
 		if n.recoverOnce(checkpoint, uint64(attempt)) {
-			n.alienVotes = 0
 			n.Recovered++
 			return
 		}
 	}
 	// Give up until the next checkpoint; regular rounds may still work
 	// for us even if stragglers remain.
-	n.alienVotes = 0
 }
 
-// recoverOnce runs one recovery BA⋆ attempt; it reports success.
-func (n *Node) recoverOnce(checkpoint, attempt uint64) bool {
-	base := n.ledger.LastFinal()
-	baseHash := base.Hash()
-	balances, ok := n.ledger.BalancesAt(baseHash)
-	if !ok {
-		return false
-	}
+// roundBudget is an upper bound on one round (or recovery attempt)
+// worst-case duration: the proposal wait plus every BA⋆ step timing
+// out, with slack for the reduction and final steps.
+func (n *Node) roundBudget() time.Duration {
+	p := n.cfg.Params
+	return p.LambdaPriority + p.LambdaStepVar + p.LambdaBlock +
+		time.Duration(p.MaxSteps+2)*(p.LambdaStep+p.LambdaStepVar)
+}
 
-	// Fresh proposers and committees per attempt: hash the seed each
-	// time (§8.2). The attempt coordinates are wire-encoded so the
-	// preimage layout is the codec's, not ad hoc.
+// recoveryContext derives the BA⋆ context for one recovery attempt.
+// Everything in it comes from the last final block — which is fork-free
+// and common to all honest users — plus the checkpoint/attempt
+// coordinates, so the context is *self-describing*: any node can
+// rebuild it from a recovery round number alone and verify, buffer, and
+// relay that attempt's proposals without being in recovery itself.
+// (Nodes drift in and out of attempts at different times; if only nodes
+// currently inside an attempt relayed its messages, the fork proposal
+// would die within a hop of its proposer.)
+//
+// Fresh proposers and committees per attempt: hash the seed each time
+// (§8.2). The attempt coordinates are wire-encoded so the preimage
+// layout is the codec's, not ad hoc.
+func (n *Node) recoveryContext(checkpoint, attempt uint64) *agreement.Context {
+	return n.recoveryContextAt(n.ledger.LastFinal(), checkpoint, attempt)
+}
+
+// recoverySeed derives the sortition seed of one recovery attempt from
+// its base block and coordinates.
+func recoverySeed(base *ledger.Block, checkpoint, attempt uint64) crypto.Digest {
 	e := wire.NewEncoderSize(16)
 	e.Uint64(checkpoint)
 	e.Uint64(attempt)
-	seed := crypto.HashBytes("algorand.recovery.seed", base.Seed[:], e.Data())
-	recRound := recoveryRoundBase + checkpoint*1024 + attempt
+	return crypto.HashBytes("algorand.recovery.seed", base.Seed[:], e.Data())
+}
 
-	ctx := &agreement.Context{
-		Round:         recRound,
+// recoveryContextAt is recoveryContext with an explicit base block.
+func (n *Node) recoveryContextAt(base *ledger.Block, checkpoint, attempt uint64) *agreement.Context {
+	baseHash := base.Hash()
+	balances, ok := n.ledger.BalancesAt(baseHash)
+	if !ok {
+		return nil
+	}
+	seed := recoverySeed(base, checkpoint, attempt)
+	return &agreement.Context{
+		Round:         recoveryRoundBase + checkpoint*1024 + attempt,
 		Seed:          seed,
 		Weights:       balances.Money,
 		TotalWeight:   balances.Total,
 		LastBlockHash: baseHash,
 		EmptyHash:     crypto.HashBytes("algorand.recovery.empty", seed[:], baseHash[:]),
 	}
+}
+
+// recoveryCtxForRound rebuilds the context a recovery-round message
+// belongs to; the coordinates are encoded in the round number.
+func (n *Node) recoveryCtxForRound(round uint64) *agreement.Context {
+	if round < recoveryRoundBase {
+		return nil
+	}
+	off := round - recoveryRoundBase
+	return n.recoveryContext(off/1024, off%1024)
+}
+
+// recoverOnce runs one recovery BA⋆ attempt; it reports success.
+func (n *Node) recoverOnce(checkpoint, attempt uint64) bool {
+	ctx := n.recoveryContext(checkpoint, attempt)
+	if ctx == nil {
+		return false
+	}
+	recRound := ctx.Round
+	seed := ctx.Seed
+	baseHash := ctx.LastBlockHash
+	balances, _ := n.ledger.BalancesAt(baseHash)
 	n.setContext(ctx)
 	defer n.setContext(nil)
 
@@ -85,15 +163,31 @@ func (n *Node) recoverOnce(checkpoint, attempt uint64) bool {
 		n.propInbox(recRound).Send(blockprop.NewArrivalBlock(&prop.Block))
 	}
 
-	wres := blockprop.Wait(n.proc, n.propInbox(recRound),
-		n.cfg.Params.LambdaPriority, n.cfg.Params.LambdaStepVar, n.cfg.Params.LambdaBlock)
+	cands := blockprop.WaitAll(n.proc, n.propInbox(recRound),
+		n.cfg.Params.LambdaPriority+n.cfg.Params.LambdaStepVar+n.cfg.Params.LambdaBlock)
 
-	// Validate the §8.2 way: the proposed fork must be at least as long
-	// as the longest chain we have seen.
+	// Validate the §8.2 way: a proposed fork is acceptable if it is at
+	// least as long as the longest chain we have seen. Among acceptable
+	// proposals prefer the longest fork, then the highest priority —
+	// NOT priority alone: a proposer on a short branch cannot know a
+	// longer branch exists, and nodes on the long branch must reject
+	// its proposal, so following raw priority splits the committee's
+	// inputs between that proposal and the empty value.
 	value := ctx.EmptyHash
-	if wres.Block != nil && wres.Block.Round >= longest.Round+1 && wres.Block.IsEmpty() {
-		n.ledger.RegisterProposal(wres.Block)
-		value = wres.Block.Hash()
+	var bestBlk *ledger.Block
+	var bestPri sortition.Priority
+	for _, c := range cands {
+		if c.Block.Round < longest.Round+1 || !c.Block.IsEmpty() {
+			continue
+		}
+		if bestBlk == nil || c.Block.Round > bestBlk.Round ||
+			(c.Block.Round == bestBlk.Round && bestPri.Less(c.Priority)) {
+			bestBlk, bestPri = c.Block, c.Priority
+		}
+	}
+	if bestBlk != nil {
+		n.ledger.RegisterProposal(bestBlk)
+		value = bestBlk.Hash()
 	}
 
 	out, err := agreement.Run(n.env(), ctx, value)
@@ -104,7 +198,10 @@ func (n *Node) recoverOnce(checkpoint, attempt uint64) bool {
 		return false
 	}
 
-	// Adopt the winning fork.
+	// Adopt the winning fork, keeping the recovery certificate: it is
+	// the transferable proof of this adoption, and without it a node
+	// that missed the checkpoint could never be convinced of the
+	// adopted round (§8.3 catch-up serves only certified tails).
 	fb, ok := n.ledger.BlockOfHash(out.Value)
 	if !ok && n.cfg.Fetch != nil {
 		fb, ok = n.cfg.Fetch(out.Value)
@@ -112,15 +209,61 @@ func (n *Node) recoverOnce(checkpoint, attempt uint64) bool {
 	if !ok {
 		return false
 	}
-	if !n.adoptChain(fb) {
+	cert := out.Cert
+	if out.Final && out.FinalCert != nil {
+		cert = out.FinalCert
+	}
+	if !n.adoptChain(fb, cert) {
 		return false
 	}
 	return true
 }
 
+// VerifyRecoveryCert checks a §8.2 recovery certificate as transferable
+// proof that the network adopted block b. The certificate's votes name
+// their base block (every vote's PrevHash is the recovery context's
+// anchor); the verifier requires that base on its own canonical chain,
+// rebuilds the self-describing context from it and the coordinates in
+// the round number, and re-verifies the committee votes — the same
+// trustless check as a regular certificate, just against the recovery
+// round's seed and the base block's stake distribution.
+func VerifyRecoveryCert(p crypto.Provider, l *ledger.Ledger, b *ledger.Block, cert *ledger.Certificate, cp ledger.CommitteeParams) error {
+	if cert.Round < recoveryRoundBase {
+		return fmt.Errorf("round %d is not a recovery round", cert.Round)
+	}
+	if cert.Value != b.Hash() {
+		return fmt.Errorf("recovery cert is for another block")
+	}
+	if len(cert.Votes) == 0 {
+		return fmt.Errorf("recovery cert has no votes")
+	}
+	baseHash := cert.Votes[0].PrevHash
+	base, ok := l.BlockOfHash(baseHash)
+	if !ok {
+		return fmt.Errorf("recovery cert base unknown")
+	}
+	if on, ok := l.BlockAt(base.Round); !ok || on.Hash() != baseHash {
+		return fmt.Errorf("recovery cert base not on our chain")
+	}
+	balances, ok := l.BalancesAt(baseHash)
+	if !ok {
+		return fmt.Errorf("recovery cert base state unavailable")
+	}
+	off := cert.Round - recoveryRoundBase
+	seed := recoverySeed(base, off/1024, off%1024)
+	tau, threshold := cp.TauStep, cp.StepThreshold
+	if cert.Final {
+		tau, threshold = cp.TauFinal, cp.FinalThreshold
+	} else if cp.MaxStep != 0 && cert.Step > cp.MaxStep {
+		return fmt.Errorf("recovery cert step %d beyond MaxSteps", cert.Step)
+	}
+	return cert.Verify(p, seed, balances.Money, balances.Total, tau, threshold, baseHash)
+}
+
 // adoptChain commits b and any missing ancestors (fetched on demand),
-// then switches the canonical head to b.
-func (n *Node) adoptChain(b *ledger.Block) bool {
+// then switches the canonical head to b, recording cert (the recovery
+// certificate, possibly nil) as b's proof.
+func (n *Node) adoptChain(b *ledger.Block, cert *ledger.Certificate) bool {
 	// Collect the missing ancestry, newest first.
 	var chain []*ledger.Block
 	cur := b
@@ -141,10 +284,20 @@ func (n *Node) adoptChain(b *ledger.Block) bool {
 			return false
 		}
 	}
-	if !n.ledger.Knows(b.Hash()) {
-		if err := n.ledger.Commit(b, nil); err != nil {
-			return false
-		}
+	// Commit (or re-commit: the dup path attaches certificates to known
+	// entries) the adopted block with its recovery certificate.
+	if err := n.ledger.Commit(b, cert); err != nil {
+		return false
 	}
-	return n.ledger.SwitchHead(b.Hash()) == nil
+	if n.ledger.SwitchHead(b.Hash()) != nil {
+		return false
+	}
+	// Reconcile the archive onto the adopted chain: any block this node
+	// archived for those rounds belongs to the abandoned fork, and a
+	// restart must not replay it.
+	for i := len(chain) - 1; i >= 0; i-- {
+		n.store.Reconcile(chain[i], nil)
+	}
+	n.store.Reconcile(b, cert)
+	return true
 }

@@ -59,9 +59,11 @@ func (c *Cluster) MakeEquivocatingProposers(k int) {
 // SplitWorld partitions the network into two halves for the given
 // virtual-time window [from, to): no messages cross the cut. This is
 // the weak-synchrony adversary of §3 used to exercise §8.2 recovery.
+// The filter composes with other installed faults (AddPartition), so a
+// world split and a targeted DoS can be scripted on the same run.
 func (c *Cluster) SplitWorld(from, to int64) {
 	cut := len(c.Nodes) / 2
-	c.Net.SetPartition(func(a, b int) bool {
+	c.Net.AddPartition(func(a, b int) bool {
 		now := int64(c.Sim.Now().Seconds())
 		if now < from || now >= to {
 			return false
@@ -71,9 +73,21 @@ func (c *Cluster) SplitWorld(from, to int64) {
 }
 
 // SilenceNodes drops all traffic from the given nodes (modeling a
-// targeted DoS on known participants).
+// targeted DoS on known participants). Composes with other faults.
 func (c *Cluster) SilenceNodes(ids map[int]bool) {
-	c.Net.SetPartition(func(a, b int) bool {
+	c.Net.AddPartition(func(a, b int) bool {
+		return ids[a] || ids[b]
+	})
+}
+
+// SilenceNodesDuring drops all traffic touching the given nodes for the
+// virtual-time window [from, to) seconds.
+func (c *Cluster) SilenceNodesDuring(ids map[int]bool, from, to int64) {
+	c.Net.AddPartition(func(a, b int) bool {
+		now := int64(c.Sim.Now().Seconds())
+		if now < from || now >= to {
+			return false
+		}
 		return ids[a] || ids[b]
 	})
 }

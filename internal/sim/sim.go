@@ -99,6 +99,7 @@ type Cluster struct {
 	ids      []crypto.Identity
 	Genesis  map[crypto.PublicKey]uint64
 	Seed0    crypto.Digest
+	nodeCfg  node.Config
 }
 
 // NewCluster builds the deployment (without starting node processes).
@@ -140,7 +141,7 @@ func NewCluster(cfg Config) *Cluster {
 	}
 	c.Net.SetWeights(weights)
 
-	nodeCfg := node.Config{
+	c.nodeCfg = node.Config{
 		Params:            cfg.Params,
 		LedgerCfg:         cfg.LedgerCfg,
 		ChargeCrypto:      cfg.ChargeCrypto,
@@ -150,11 +151,45 @@ func NewCluster(cfg Config) *Cluster {
 		PipelineFinalStep: cfg.PipelineFinalStep,
 	}
 	for i := 0; i < cfg.N; i++ {
-		n := node.New(i, c.Sim, c.Net, c.Provider, c.ids[i], nodeCfg, c.Genesis, c.Seed0)
+		n := node.New(i, c.Sim, c.Net, c.Provider, c.ids[i], c.nodeCfg, c.Genesis, c.Seed0)
 		n.StopAfterRound = cfg.Rounds
 		c.Nodes = append(c.Nodes, n)
 	}
 	return c
+}
+
+// CrashNode simulates a crash of node i: it goes silent immediately and
+// its process winds down. The node's Store survives (the machine's
+// disk); RestartNode builds a replacement from it.
+func (c *Cluster) CrashNode(i int) { c.Nodes[i].Halt() }
+
+// RestartNode replaces a crashed node i with a fresh node in the same
+// network slot: the replacement replays the crashed node's archive
+// (validating every certificate), catches the rest up from peers, and
+// rejoins consensus. syncBudget bounds the rejoin phase. It returns the
+// replacement (also installed in c.Nodes) and how many rounds were
+// restored from the archive.
+func (c *Cluster) RestartNode(i int, syncBudget time.Duration) (*node.Node, uint64, error) {
+	return c.RestartNodeFromStore(i, c.Nodes[i].Store(), syncBudget)
+}
+
+// RestartNodeFromStore is RestartNode with an explicit archive to
+// restore from (e.g. a tampered copy, for adversarial tests). If the
+// archive fails validation the replacement is installed but not started.
+func (c *Cluster) RestartNodeFromStore(i int, src *ledger.Store, syncBudget time.Duration) (*node.Node, uint64, error) {
+	old := c.Nodes[i]
+	if !old.Halted() {
+		old.Halt()
+	}
+	n := node.New(i, c.Sim, c.Net, c.Provider, c.ids[i], c.nodeCfg, c.Genesis, c.Seed0)
+	n.StopAfterRound = c.Cfg.Rounds
+	c.Nodes[i] = n
+	restored, err := n.RestoreFromArchive(src)
+	if err != nil {
+		return n, restored, err
+	}
+	n.StartAfterSync(syncBudget)
+	return n, restored, nil
 }
 
 // fetch resolves a block hash from any node in the deployment,

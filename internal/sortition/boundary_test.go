@@ -1,0 +1,141 @@
+package sortition
+
+import (
+	"math"
+	"testing"
+
+	"algorand/internal/binomial"
+	"algorand/internal/crypto"
+	"algorand/internal/params"
+)
+
+// TestExecuteHardBoundaries pins Execute/Verify at the degenerate edges:
+// zero weight, zero committee, and a committee spanning the entire
+// stake. Execute and Verify must agree exactly on each.
+func TestExecuteHardBoundaries(t *testing.T) {
+	p := crypto.NewFast()
+	id := p.NewIdentity(crypto.SeedFromUint64(77))
+	seed := []byte("boundary-seed")
+	role := Role{Kind: RoleCommittee, Round: 3, Step: 1}
+
+	cases := []struct {
+		name        string
+		tau, w, W   uint64
+		wantJ       uint64
+		exactJ      bool
+		wantPicked  bool
+		exactPicked bool
+	}{
+		{name: "zero-weight", tau: 200, w: 0, W: 1000,
+			wantJ: 0, exactJ: true, wantPicked: false, exactPicked: true},
+		{name: "zero-committee", tau: 0, w: 100, W: 1000,
+			wantJ: 0, exactJ: true, wantPicked: false, exactPicked: true},
+		{name: "committee-is-whole-stake", tau: 1000, w: 100, W: 1000,
+			wantJ: 100, exactJ: true, wantPicked: true, exactPicked: true},
+		{name: "sole-user-owns-everything", tau: 600, w: 1000, W: 1000,
+			wantJ: 0, exactJ: false, wantPicked: true, exactPicked: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := Execute(id, seed, role, tc.tau, tc.w, tc.W)
+			if tc.exactJ && res.J != tc.wantJ {
+				t.Fatalf("J = %d, want %d", res.J, tc.wantJ)
+			}
+			if res.J > tc.w {
+				t.Fatalf("J = %d exceeds weight %d", res.J, tc.w)
+			}
+			if tc.exactPicked && res.Selected() != tc.wantPicked {
+				t.Fatalf("Selected() = %v, want %v", res.Selected(), tc.wantPicked)
+			}
+			_, j := Verify(p, id.PublicKey(), res.Proof, seed, role, tc.tau, tc.w, tc.W)
+			if j != res.J {
+				t.Fatalf("Verify j=%d disagrees with Execute j=%d", j, res.J)
+			}
+		})
+	}
+}
+
+// TestFigure4CommitteeParameters pins the paper's Figure 4 committee
+// configuration: τ=2000 with threshold T=0.685 for ordinary steps and
+// τ=10000 with T=0.74 for the final step. The derived vote thresholds
+// (1370 and 7400) are what the BA⋆ safety analysis (§7.5, Appendix C)
+// depends on, so a silent change here must fail a test.
+func TestFigure4CommitteeParameters(t *testing.T) {
+	d := params.Default()
+	if d.TauStep != 2000 || d.TauFinal != 10000 {
+		t.Fatalf("committee sizes τ_step=%d τ_final=%d, want 2000/10000", d.TauStep, d.TauFinal)
+	}
+	if got := d.StepThreshold(); got != 1370 {
+		t.Fatalf("step threshold %d, want 1370 (= 0.685·2000)", got)
+	}
+	if got := d.FinalThreshold(); got != 7400 {
+		t.Fatalf("final threshold %d, want 7400 (= 0.74·10000)", got)
+	}
+	// Both thresholds must be strict majorities of their committees —
+	// the overlap argument behind BA⋆ safety needs that.
+	if 2*d.StepThreshold() <= d.TauStep {
+		t.Fatal("step threshold is not a majority of τ_step")
+	}
+	if 2*d.FinalThreshold() <= d.TauFinal {
+		t.Fatal("final threshold is not a majority of τ_final")
+	}
+}
+
+// TestCommitteeSizeAtFigure4Tau runs real sortition (VRF and all) over a
+// population and checks the realised committee sizes center on τ for
+// the Figure 4 committees.
+func TestCommitteeSizeAtFigure4Tau(t *testing.T) {
+	p := crypto.NewFast()
+	const users = 100
+	const weight = 500
+	const W = users * weight
+	ids := make([]crypto.Identity, users)
+	for i := range ids {
+		ids[i] = p.NewIdentity(crypto.SeedFromUint64(uint64(9000 + i)))
+	}
+	for _, tau := range []uint64{2000, 10000} {
+		var total uint64
+		const rounds = 4
+		for r := uint64(0); r < rounds; r++ {
+			seed := crypto.HashUint64("fig4.seed", r)
+			role := Role{Kind: RoleCommittee, Round: r, Step: 1}
+			for _, id := range ids {
+				total += Execute(id, seed[:], role, tau, weight, W).J
+			}
+		}
+		want := float64(tau * rounds)
+		sigma := math.Sqrt(want)
+		if math.Abs(float64(total)-want) > 6*sigma {
+			t.Fatalf("τ=%d: %d selections over %d rounds, want ≈%.0f (6σ=%.0f)",
+				tau, total, rounds, want, 6*sigma)
+		}
+	}
+}
+
+// TestSelectionMatchesCDFInterval is the cross-package agreement check:
+// the j that Execute reports must be exactly the CDF interval of
+// Binomial(w, τ/W) that the VRF output's fraction falls into —
+// CDF(j-1) ≤ hash/2^hashlen < CDF(j). A mismatch would mean prover and
+// verifier could disagree about committee membership.
+func TestSelectionMatchesCDFInterval(t *testing.T) {
+	p := crypto.NewFast()
+	const tau, w, W = 300, 40, 1000
+	for i := uint64(0); i < 50; i++ {
+		id := p.NewIdentity(crypto.SeedFromUint64(500 + i))
+		seed := crypto.HashUint64("cdf.seed", i)
+		role := Role{Kind: RoleProposer, Round: i}
+		res := Execute(id, seed[:], role, tau, w, W)
+
+		frac := binomial.FractionOfHash(res.Output[:])
+		upper := binomial.New(w, tau, W).CDF(res.J)
+		if frac.Cmp(upper) >= 0 {
+			t.Fatalf("i=%d: fraction ≥ CDF(J=%d); j too small", i, res.J)
+		}
+		if res.J > 0 {
+			lower := binomial.New(w, tau, W).CDF(res.J - 1)
+			if frac.Cmp(lower) < 0 {
+				t.Fatalf("i=%d: fraction < CDF(J-1=%d); j too large", i, res.J-1)
+			}
+		}
+	}
+}
