@@ -37,6 +37,8 @@ func main() {
 		weight   = flag.Uint64("weight", 10, "currency units per user")
 		lambdaMS = flag.Int("lambda-ms", 500, "λ_step in milliseconds (other λs scale with it)")
 		verbose  = flag.Bool("v", false, "log transport errors")
+		stats    = flag.Bool("stats", false, "print per-peer transport statistics on exit")
+		statsSec = flag.Int("stats-interval", 0, "also print transport statistics every N seconds (0 = off)")
 	)
 	flag.Parse()
 
@@ -96,6 +98,15 @@ func main() {
 
 	transport.Start()
 	nd.Start()
+	if *statsSec > 0 {
+		every := time.Duration(*statsSec) * time.Second
+		sim.Spawn("stats", func(p *vtime.Proc) {
+			for {
+				p.Sleep(every)
+				fmt.Fprintf(os.Stderr, "%s\n", transport.Stats())
+			}
+		})
+	}
 	// Stop once done, lingering briefly to serve lagging peers.
 	sim.Spawn("watcher", func(p *vtime.Proc) {
 		for nd.Ledger().ChainLength() < *rounds {
@@ -122,4 +133,11 @@ func main() {
 	}
 	head := nd.Ledger().Head()
 	fmt.Printf("head: round %d hash %s\n", head.Round, head.Hash().Hex()[:16])
+	if h, ok := nd.TransportHealth(); ok {
+		fmt.Printf("transport: %d/%d peers connected, %d quarantined, %d queue drops, %d redials\n",
+			h.Connected, h.Peers, h.Quarantined, h.QueueDrops, h.Redials)
+	}
+	if *stats {
+		fmt.Printf("%s\n", transport.Stats())
+	}
 }

@@ -35,6 +35,37 @@ type Transport interface {
 	Neighbors(id int) []int
 }
 
+// TransportHealth is a coarse liveness snapshot of the transport under
+// a node. The paper's liveness argument assumes the network heals
+// (§3's strong synchrony holds "most of the time"); this is the signal
+// an operator watches to know whether that assumption currently holds
+// for this node: how many peers are reachable, how many are serving a
+// misbehavior quarantine, and how much gossip the transport has shed
+// (queue drops) or repaired (redials).
+type TransportHealth struct {
+	Peers       int // address-book peers (self excluded)
+	Connected   int // peers with a live outbound connection
+	Quarantined int // peers currently quarantined for misbehavior
+	QueueDrops  uint64
+	Redials     uint64
+}
+
+// TransportHealthReporter is optionally implemented by transports that
+// can report health (internal/realnet does; the in-process simulator
+// has no failing links to report on).
+type TransportHealthReporter interface {
+	Health() TransportHealth
+}
+
+// TransportHealth reports the underlying transport's health snapshot,
+// or ok=false when the transport does not expose one.
+func (n *Node) TransportHealth() (TransportHealth, bool) {
+	if hr, ok := n.net.(TransportHealthReporter); ok {
+		return hr.Health(), true
+	}
+	return TransportHealth{}, false
+}
+
 // Config assembles a node's dependencies.
 type Config struct {
 	Params    params.Params

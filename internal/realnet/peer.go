@@ -1,0 +1,373 @@
+package realnet
+
+import (
+	"bufio"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"algorand/internal/wire"
+)
+
+// peer holds everything the transport knows about one address-book
+// entry: the supervised outbound connection with its bounded send
+// queue, and the inbound accounting that drives misbehavior scoring.
+//
+// Lock order: t.mu may be held while taking p.mu, never the reverse.
+type peer struct {
+	t    *Transport
+	id   int
+	addr string
+
+	// started is guarded by t.mu (see Transport.enqueue).
+	started bool
+
+	// ready wakes the writer: capacity 1, best-effort signal.
+	ready chan struct{}
+	// rng drives backoff jitter; only the writer goroutine uses it.
+	rng *rand.Rand
+
+	mu          sync.Mutex
+	queue       []frame
+	queuedBytes int
+	connected   bool
+
+	// outbound counters
+	drops        uint64 // frames dropped by the queue's drop-oldest policy
+	dials        uint64 // successful connects
+	redials      uint64 // successful connects after a previous connect
+	connectFails uint64 // failed dial attempts
+	framesOut    uint64
+	bytesOut     uint64
+	everDialed   bool
+
+	// inbound accounting and misbehavior scoring
+	framesIn    uint64
+	bytesIn     uint64
+	malformed   uint64
+	spoofed     uint64
+	rateAbuse   uint64
+	quarantines uint64
+	score       int
+	windowStart time.Time
+	windowCount int
+
+	quarantinedUntil time.Time
+}
+
+func newPeer(t *Transport, id int, addr string) *peer {
+	return &peer{
+		t:     t,
+		id:    id,
+		addr:  addr,
+		ready: make(chan struct{}, 1),
+		rng:   rand.New(rand.NewSource(t.cfg.Seed ^ int64(id)<<32 ^ int64(t.id))),
+	}
+}
+
+// wake nudges the writer without blocking.
+func (p *peer) wake() {
+	select {
+	case p.ready <- struct{}{}:
+	default:
+	}
+}
+
+// pushBack queues a frame, enforcing the drop-oldest bounds.
+func (p *peer) pushBack(f frame) {
+	p.mu.Lock()
+	p.queue = append(p.queue, f)
+	p.queuedBytes += len(f.payload)
+	p.trimLocked()
+	p.mu.Unlock()
+	p.wake()
+}
+
+// pushFront requeues a frame whose write failed, so it rides the next
+// connection instead of being lost. If the queue is at capacity the
+// frame is dropped (it is the oldest by definition).
+func (p *peer) pushFront(f frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cap := p.t.cfg.QueueCap; cap > 0 && len(p.queue) >= cap {
+		p.drops++
+		return
+	}
+	p.queue = append([]frame{f}, p.queue...)
+	p.queuedBytes += len(f.payload)
+}
+
+// trimLocked drops oldest frames until the queue is within both bounds,
+// always keeping at least the newest frame.
+func (p *peer) trimLocked() {
+	maxN, maxB := p.t.cfg.QueueCap, p.t.cfg.QueueBytes
+	for len(p.queue) > 1 &&
+		((maxN > 0 && len(p.queue) > maxN) || (maxB > 0 && p.queuedBytes > maxB)) {
+		p.queuedBytes -= len(p.queue[0].payload)
+		p.queue = append(p.queue[:0], p.queue[1:]...)
+		p.drops++
+	}
+}
+
+func (p *peer) pop() (frame, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) == 0 {
+		return frame{}, false
+	}
+	f := p.queue[0]
+	p.queue = append(p.queue[:0], p.queue[1:]...)
+	p.queuedBytes -= len(f.payload)
+	return f, true
+}
+
+func (p *peer) depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// wait blocks until work is signaled (work=true), the timeout elapses
+// (work=false), or the transport closes (alive=false). d<=0 waits
+// without a timeout.
+func (p *peer) wait(d time.Duration) (work, alive bool) {
+	var timer <-chan time.Time
+	if d > 0 {
+		tm := time.NewTimer(d)
+		defer tm.Stop()
+		timer = tm.C
+	}
+	select {
+	case <-p.ready:
+		return true, true
+	case <-timer:
+		return false, true
+	case <-p.t.closed:
+		return false, false
+	}
+}
+
+// sleepClosed sleeps for d, returning false if the transport closed.
+func (p *peer) sleepClosed(d time.Duration) bool {
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-tm.C:
+		return true
+	case <-p.t.closed:
+		return false
+	}
+}
+
+// withJitter spreads a backoff delay uniformly over [d/2, 3d/2) so
+// peers redialing a restarted node do not arrive in lockstep.
+func withJitter(d time.Duration, rng *rand.Rand) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d)))
+}
+
+// loop is the peer's writer and connection supervisor: it dials when
+// there is something to send, redials failed peers with exponential
+// backoff plus jitter (reset on success), flushes the queue, and sends
+// keepalive pings while idle. It exits when the transport closes.
+func (p *peer) loop() {
+	defer p.t.wg.Done()
+	cfg := &p.t.cfg
+	backoff := cfg.RedialMin
+	var conn net.Conn
+	var bw *bufio.Writer
+	drop := func() {
+		if conn != nil {
+			conn.Close()
+			conn, bw = nil, nil
+			p.setConnected(false)
+		}
+	}
+	defer drop()
+	for {
+		select {
+		case <-p.t.closed:
+			return
+		default:
+		}
+		// Quarantined peers get no traffic from us either: park until
+		// parole. Queued frames wait (drop-oldest keeps them fresh).
+		if d := p.quarantineRemaining(time.Now()); d > 0 {
+			drop()
+			if !p.sleepClosed(d) {
+				return
+			}
+			continue
+		}
+		if conn == nil {
+			if p.depth() == 0 {
+				// Nothing to say: no point holding a connection open.
+				if _, alive := p.wait(0); !alive {
+					return
+				}
+				continue
+			}
+			c, err := p.t.dialPeer(p.addr)
+			if err != nil {
+				p.noteConnectFail()
+				if !p.sleepClosed(withJitter(backoff, p.rng)) {
+					return
+				}
+				backoff *= 2
+				if backoff > cfg.RedialMax {
+					backoff = cfg.RedialMax
+				}
+				continue
+			}
+			p.noteDial()
+			conn, bw = c, bufio.NewWriter(c)
+			backoff = cfg.RedialMin
+			p.setConnected(true)
+			if err := p.writeFrame(conn, bw, frame{tag: tagHello, payload: helloPayload(p.t.id)}); err != nil {
+				p.t.reportErr(err)
+				drop()
+				continue
+			}
+		}
+		f, ok := p.pop()
+		if !ok {
+			work, alive := p.wait(cfg.KeepaliveInterval)
+			if !alive {
+				return
+			}
+			if !work {
+				// Idle: ping so the peer's read deadline stays ahead.
+				if err := p.writeFrame(conn, bw, frame{tag: tagPing}); err != nil {
+					drop()
+				}
+			}
+			continue
+		}
+		if err := p.writeFrame(conn, bw, f); err != nil {
+			p.t.reportErr(err)
+			p.pushFront(f) // retried on the next connection
+			drop()
+		}
+	}
+}
+
+// writeFrame writes and flushes one frame under the write deadline.
+func (p *peer) writeFrame(c net.Conn, w *bufio.Writer, f frame) error {
+	if wt := p.t.cfg.WriteTimeout; wt > 0 {
+		c.SetWriteDeadline(time.Now().Add(wt))
+	}
+	if err := wire.WriteFrame(w, f.tag, f.payload); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.framesOut++
+	p.bytesOut += uint64(5 + len(f.payload))
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *peer) setConnected(v bool) {
+	p.mu.Lock()
+	p.connected = v
+	p.mu.Unlock()
+}
+
+func (p *peer) noteDial() {
+	p.mu.Lock()
+	p.dials++
+	if p.everDialed {
+		p.redials++
+	}
+	p.everDialed = true
+	p.mu.Unlock()
+}
+
+func (p *peer) noteConnectFail() {
+	p.mu.Lock()
+	p.connectFails++
+	p.everDialed = true
+	p.mu.Unlock()
+}
+
+// --- Inbound accounting and misbehavior scoring -----------------------------
+
+// noteFrame accounts one inbound frame and reports whether it is within
+// the peer's rate budget; frames over budget are shed by the caller and
+// score the peer.
+func (p *peer) noteFrame(bytes int, now time.Time) bool {
+	p.mu.Lock()
+	p.framesIn++
+	p.bytesIn += uint64(bytes)
+	ok := true
+	if lim := p.t.cfg.RateLimit; lim > 0 {
+		if now.Sub(p.windowStart) > p.t.cfg.RateWindow {
+			p.windowStart = now
+			p.windowCount = 0
+		}
+		p.windowCount++
+		if p.windowCount > lim {
+			p.rateAbuse++
+			ok = false
+		}
+	}
+	var quarantined bool
+	if !ok {
+		quarantined = p.offendLocked(scoreRate, now)
+	}
+	p.mu.Unlock()
+	if quarantined {
+		p.t.quarantineEnacted(p.id)
+	}
+	return ok
+}
+
+// offend records a misbehavior observation (counter tracks the kind)
+// and quarantines the peer when the score crosses the threshold.
+func (p *peer) offend(pts int, counter *uint64) {
+	now := time.Now()
+	p.mu.Lock()
+	*counter++
+	quarantined := p.offendLocked(pts, now)
+	p.mu.Unlock()
+	if quarantined {
+		p.t.quarantineEnacted(p.id)
+	}
+}
+
+// offendLocked adds score and imposes quarantine at the threshold,
+// returning whether a new quarantine began. Parole wipes the score: the
+// peer restarts with a clean slate. Caller holds p.mu.
+func (p *peer) offendLocked(pts int, now time.Time) bool {
+	if now.Before(p.quarantinedUntil) {
+		return false // already serving
+	}
+	p.score += pts
+	if th := p.t.cfg.QuarantineThreshold; th > 0 && p.score >= th {
+		p.quarantinedUntil = now.Add(p.t.cfg.QuarantineDuration)
+		p.score = 0
+		p.quarantines++
+		return true
+	}
+	return false
+}
+
+func (p *peer) isQuarantined(now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return now.Before(p.quarantinedUntil)
+}
+
+func (p *peer) quarantineRemaining(now time.Time) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if now.Before(p.quarantinedUntil) {
+		return p.quarantinedUntil.Sub(now)
+	}
+	return 0
+}

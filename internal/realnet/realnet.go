@@ -8,17 +8,46 @@
 // dropped, and per-(sender,round,step) relay limits apply — but trades
 // the simulator's modeled latency/bandwidth for real sockets. Messages
 // travel as internal/wire frames: a length prefix, a one-byte type tag,
-// the sender id and the message's canonical encoding. That encoding is
-// the same byte layout the simulator's bandwidth model counts and the
-// signing paths cover — no reflection, and ledger.Block.PayloadPadding
-// is materialized by the codec so large blocks cost real bandwidth.
+// the sender id and the message's canonical encoding.
+//
+// Unlike the simulator, real sockets fail: dials are refused, peers
+// crash and restart, writes stall. The paper's safety and liveness
+// argument leans on the network healing (§3's strong synchrony is
+// assumed to hold "most of the time", and BA⋆'s timeouts absorb the
+// rest), so the transport heals itself rather than degrading silently:
+//
+//   - Every peer has a dedicated writer goroutine behind a bounded
+//     drop-oldest send queue. Scheduler context (sim.Inject closures,
+//     node processes) never touches a socket: Gossip/Unicast only
+//     enqueue. A down peer costs queue memory, not scheduler stalls.
+//   - The writer doubles as a connection supervisor: it redials failed
+//     peers with exponential backoff plus jitter, resets the backoff on
+//     success, and flushes whatever queued while the peer was down —
+//     a catch-up request to a rebooting peer waits instead of vanishing.
+//   - Connections carry read/write deadlines and idle keepalive pings,
+//     so a dead peer is detected and reaped rather than leaking.
+//   - The duplicate-suppression and relay-limit caches are generational
+//     with a TTL (mirroring internal/network.Config.SeenTTL), bounding
+//     their memory over long runs.
+//   - Inbound connections must open with a hello frame declaring the
+//     dialer's address-book id. Per-peer inbound accounting scores
+//     misbehavior — malformed frames, sender ids that contradict the
+//     hello, frame-rate abuse — and quarantines an offending peer for a
+//     parole period. The id claim is transport-level bookkeeping only;
+//     message authenticity still rests on the signatures every gossip
+//     message carries (§8.4).
+//
+// Stats() snapshots all of it (queue depths, drops, redials, quarantine
+// state, bytes in/out) for operators; cmd/algorand-node prints it.
 package realnet
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"algorand/internal/crypto"
 	"algorand/internal/network"
@@ -27,32 +56,139 @@ import (
 	"algorand/internal/wire"
 )
 
+// Control-plane frame tags. They live far above the node's message tags
+// (internal/node.TagVote...) and never reach the handler.
+const (
+	tagHello byte = 0xF0 // first frame on every connection: sender's id
+	tagPing  byte = 0xF1 // idle keepalive, empty payload
+)
+
+// Misbehavior scores. A peer whose score reaches
+// Config.QuarantineThreshold is quarantined.
+const (
+	scoreMalformed = 4 // frame that fails to decode
+	scoreSpoofed   = 5 // frame sender id contradicting the hello
+	scoreRate      = 2 // frames above the per-window rate budget
+)
+
+// DialFunc opens a connection to addr. Tests substitute fault-injecting
+// dialers (internal/realnet/netfault).
+type DialFunc func(ctx context.Context, addr string) (net.Conn, error)
+
+// Config tunes the transport's self-healing behavior. The zero value is
+// not useful; start from DefaultConfig.
+type Config struct {
+	// QueueCap bounds each peer's send queue in frames; QueueBytes
+	// bounds it in payload bytes. When either bound is exceeded the
+	// oldest frames are dropped first — gossip tolerates loss, and newer
+	// consensus messages supersede older ones. A frame larger than
+	// QueueBytes on its own is still queued (blocks must transit).
+	QueueCap   int
+	QueueBytes int
+
+	// DialTimeout bounds one connection attempt. RedialMin/RedialMax
+	// bound the supervisor's exponential backoff between attempts; the
+	// actual wait is jittered to ±50% so a cluster restarting together
+	// does not thundering-herd one peer.
+	DialTimeout time.Duration
+	RedialMin   time.Duration
+	RedialMax   time.Duration
+
+	// WriteTimeout is the deadline for writing one frame (a stalled
+	// peer's TCP buffer fills; the write times out and the supervisor
+	// redials). IdleTimeout is the read deadline: a connection that
+	// delivers nothing for this long is reaped. KeepaliveInterval makes
+	// idle writers send ping frames so healthy-but-quiet connections
+	// stay ahead of the peer's IdleTimeout; keep it well under the
+	// peers' IdleTimeout.
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
+	KeepaliveInterval time.Duration
+
+	// SeenTTL rotates the duplicate-suppression and relay-limit caches:
+	// an entry lives between one and two TTLs, bounding cache memory
+	// over long runs (mirrors internal/network.Config.SeenTTL, which PR
+	// 2's chaos swarm showed is also a liveness requirement for retried
+	// rounds). Zero disables expiry.
+	SeenTTL time.Duration
+
+	// RateLimit bounds inbound frames per peer per RateWindow; frames
+	// over budget are shed before reaching the scheduler and score the
+	// peer. Zero disables rate accounting.
+	RateLimit  int
+	RateWindow time.Duration
+
+	// QuarantineThreshold is the misbehavior score at which a peer is
+	// quarantined: its inbound connections are closed and refused, its
+	// frames dropped, and our writer to it parked. After
+	// QuarantineDuration the peer is paroled with a clean score.
+	QuarantineThreshold int
+	QuarantineDuration  time.Duration
+
+	// MaxInbound caps simultaneously accepted connections (a hostile
+	// dialer cannot hold unbounded goroutines/fds).
+	MaxInbound int
+
+	// Dial overrides the dialer (tests inject faults); nil uses
+	// net.Dialer.
+	Dial DialFunc
+
+	// Seed drives the backoff jitter.
+	Seed int64
+}
+
+// DefaultConfig returns production-leaning defaults.
+func DefaultConfig() Config {
+	return Config{
+		QueueCap:            256,
+		QueueBytes:          8 << 20,
+		DialTimeout:         3 * time.Second,
+		RedialMin:           100 * time.Millisecond,
+		RedialMax:           5 * time.Second,
+		WriteTimeout:        10 * time.Second,
+		IdleTimeout:         90 * time.Second,
+		KeepaliveInterval:   25 * time.Second,
+		SeenTTL:             time.Minute,
+		RateLimit:           20000,
+		RateWindow:          time.Second,
+		QuarantineThreshold: 10,
+		QuarantineDuration:  30 * time.Second,
+		MaxInbound:          256,
+		Seed:                1,
+	}
+}
+
 // Transport implements node.Transport over TCP.
 type Transport struct {
 	id    int
 	sim   *vtime.Sim
 	addrs []string
+	cfg   Config
 
 	handler network.Handler
 	ln      net.Listener
 
-	mu       sync.Mutex
-	conns    map[int]*wireConn
-	accepted []net.Conn
-	seen     map[crypto.Digest]bool
-	limit    map[string]int
+	// dialCtx is canceled at Close so in-flight dials abort.
+	dialCtx    context.Context
+	cancelDial context.CancelFunc
+
+	mu    sync.Mutex
+	peers map[int]*peer
+	// inbound maps accepted connections to the peer id their hello
+	// claimed (-1 before the handshake). Entries are reaped when the
+	// read loop exits, so the registry tracks live connections only.
+	inbound         map[net.Conn]int
+	inboundRejected uint64
+	// Generational duplicate-suppression and relay-limit caches; see
+	// Config.SeenTTL. Lookups consult both generations.
+	seen, seenOld   map[crypto.Digest]bool
+	limit, limitOld map[string]int
+	lastRotate      time.Time
+	quarantineDrops uint64
 
 	closed  chan struct{}
 	wg      sync.WaitGroup
 	onError func(err error)
-}
-
-// wireConn is one outgoing connection with a buffered, serialized
-// writer.
-type wireConn struct {
-	mu sync.Mutex
-	c  net.Conn
-	w  *bufio.Writer
 }
 
 // New creates a transport for node id, listening on addrs[id]. The
@@ -68,18 +204,35 @@ func New(sim *vtime.Sim, id int, addrs []string) (*Transport, error) {
 }
 
 // NewWithListener is New with a pre-bound listener (tests bind :0 first
-// to learn their ports).
+// to learn their ports) and default configuration.
 func NewWithListener(sim *vtime.Sim, id int, addrs []string, ln net.Listener) *Transport {
-	return &Transport{
-		id:     id,
-		sim:    sim,
-		addrs:  append([]string(nil), addrs...),
-		ln:     ln,
-		conns:  make(map[int]*wireConn),
-		seen:   make(map[crypto.Digest]bool),
-		limit:  make(map[string]int),
-		closed: make(chan struct{}),
+	return NewWithConfig(sim, id, addrs, ln, DefaultConfig())
+}
+
+// NewWithConfig is NewWithListener with explicit tuning.
+func NewWithConfig(sim *vtime.Sim, id int, addrs []string, ln net.Listener, cfg Config) *Transport {
+	ctx, cancel := context.WithCancel(context.Background())
+	t := &Transport{
+		id:         id,
+		sim:        sim,
+		addrs:      append([]string(nil), addrs...),
+		cfg:        cfg,
+		ln:         ln,
+		dialCtx:    ctx,
+		cancelDial: cancel,
+		peers:      make(map[int]*peer),
+		inbound:    make(map[net.Conn]int),
+		seen:       make(map[crypto.Digest]bool),
+		limit:      make(map[string]int),
+		lastRotate: time.Now(),
+		closed:     make(chan struct{}),
 	}
+	for i := range t.addrs {
+		if i != id {
+			t.peers[i] = newPeer(t, i, t.addrs[i])
+		}
+	}
+	return t
 }
 
 // Addr returns the listen address.
@@ -108,15 +261,21 @@ func (t *Transport) Start() {
 	go t.acceptLoop()
 }
 
-// Close shuts the transport down.
+// Close shuts the transport down: the listener, every inbound
+// connection, and every peer writer. It blocks until all transport
+// goroutines have exited.
 func (t *Transport) Close() {
-	close(t.closed)
-	t.ln.Close()
 	t.mu.Lock()
-	for _, wc := range t.conns {
-		wc.c.Close()
+	select {
+	case <-t.closed:
+		t.mu.Unlock()
+		return
+	default:
 	}
-	for _, c := range t.accepted {
+	close(t.closed)
+	t.cancelDial()
+	t.ln.Close()
+	for c := range t.inbound {
 		c.Close()
 	}
 	t.mu.Unlock()
@@ -137,6 +296,22 @@ func (t *Transport) reportErr(err error) {
 	}
 }
 
+// dialPeer opens one connection, honoring Config.Dial and DialTimeout,
+// and aborting if the transport closes mid-dial.
+func (t *Transport) dialPeer(addr string) (net.Conn, error) {
+	ctx := t.dialCtx
+	if t.cfg.DialTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t.cfg.DialTimeout)
+		defer cancel()
+	}
+	if t.cfg.Dial != nil {
+		return t.cfg.Dial(ctx, addr)
+	}
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
 func (t *Transport) acceptLoop() {
 	defer t.wg.Done()
 	for {
@@ -151,39 +326,155 @@ func (t *Transport) acceptLoop() {
 			}
 		}
 		t.mu.Lock()
-		t.accepted = append(t.accepted, c)
-		t.mu.Unlock()
+		if t.cfg.MaxInbound > 0 && len(t.inbound) >= t.cfg.MaxInbound {
+			t.inboundRejected++
+			t.mu.Unlock()
+			c.Close()
+			continue
+		}
+		t.inbound[c] = -1
 		t.wg.Add(1)
+		t.mu.Unlock()
 		go t.readLoop(c)
 	}
 }
 
-// readLoop decodes frames from one connection and injects deliveries
-// into the node's scheduler. A malformed frame drops the connection —
-// the peer is either broken or hostile; either way the stream cannot be
+// reapInbound removes a finished connection from the registry.
+func (t *Transport) reapInbound(c net.Conn) {
+	t.mu.Lock()
+	delete(t.inbound, c)
+	t.mu.Unlock()
+}
+
+// bindInbound records the hello-claimed peer id for a connection,
+// refusing it if the peer is quarantined or the transport closed.
+func (t *Transport) bindInbound(c net.Conn, id int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case <-t.closed:
+		return false
+	default:
+	}
+	if p := t.peers[id]; p == nil || p.isQuarantined(time.Now()) {
+		t.quarantineDrops++
+		return false
+	}
+	t.inbound[c] = id
+	return true
+}
+
+// closeInboundOf drops every live inbound connection bound to peer id
+// (quarantine enforcement).
+func (t *Transport) closeInboundOf(id int) {
+	t.mu.Lock()
+	var victims []net.Conn
+	for c, pid := range t.inbound {
+		if pid == id {
+			victims = append(victims, c)
+		}
+	}
+	t.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+}
+
+// quarantineEnacted enforces a freshly-imposed quarantine and surfaces
+// it to the error observer.
+func (t *Transport) quarantineEnacted(id int) {
+	t.closeInboundOf(id)
+	if p := t.peers[id]; p != nil {
+		p.wake()
+	}
+	t.reportErr(fmt.Errorf("realnet: peer %d quarantined for %v (misbehavior)", id, t.cfg.QuarantineDuration))
+}
+
+// readLoop decodes frames from one inbound connection and injects
+// deliveries into the node's scheduler. The first frame must be a hello
+// declaring the dialer's address-book id; after that, every frame's
+// sender id must match it. A malformed frame drops the connection — the
+// peer is either broken or hostile; either way the stream cannot be
 // resynchronized.
 func (t *Transport) readLoop(c net.Conn) {
 	defer t.wg.Done()
 	defer c.Close()
+	defer t.reapInbound(c)
 	r := bufio.NewReader(c)
+	peerID := -1
+	var p *peer
 	for {
+		if t.cfg.IdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(t.cfg.IdleTimeout))
+		}
 		tag, payload, err := wire.ReadFrame(r)
 		if err != nil {
-			return
+			return // EOF, reset, or idle expiry: reap the connection
 		}
-		from, msg, err := decodeFrame(tag, payload)
+		if peerID < 0 {
+			id, err := decodeHello(tag, payload, len(t.addrs), t.id)
+			if err != nil {
+				t.reportErr(fmt.Errorf("realnet: bad handshake from %s: %w", c.RemoteAddr(), err))
+				return
+			}
+			if !t.bindInbound(c, id) {
+				return
+			}
+			peerID, p = id, t.peers[id]
+			continue
+		}
+		if !p.noteFrame(5+len(payload), time.Now()) {
+			continue // over rate budget: shed before the scheduler sees it
+		}
+		if tag == tagPing {
+			continue
+		}
+		from, msg, err := decodeFrame(tag, payload, len(t.addrs))
 		if err != nil {
-			t.reportErr(fmt.Errorf("realnet: bad frame from %s: %w", c.RemoteAddr(), err))
+			p.offend(scoreMalformed, &p.malformed)
+			t.reportErr(fmt.Errorf("realnet: bad frame from peer %d (%s): %w", peerID, c.RemoteAddr(), err))
 			return
 		}
-		t.sim.Inject(func() { t.deliver(from, msg) })
+		if from != peerID {
+			p.offend(scoreSpoofed, &p.spoofed)
+			t.reportErr(fmt.Errorf("realnet: peer %d spoofed sender id %d", peerID, from))
+			return
+		}
+		if !t.sim.InjectStop(t.closed, func() { t.deliver(from, msg) }) {
+			return
+		}
 	}
+}
+
+// maybeRotate ages the suppression caches once per SeenTTL of wall
+// time: the current generation becomes the old one and the previous old
+// generation is forgotten, giving entries a one-to-two-TTL lifetime.
+// Caller holds t.mu.
+func (t *Transport) maybeRotate() {
+	ttl := t.cfg.SeenTTL
+	if ttl <= 0 {
+		return
+	}
+	now := time.Now()
+	if now.Sub(t.lastRotate) < ttl {
+		return
+	}
+	t.lastRotate = now
+	t.seenOld, t.seen = t.seen, make(map[crypto.Digest]bool)
+	t.limitOld, t.limit = t.limit, make(map[string]int)
 }
 
 // deliver runs in scheduler context: dedup, handle, relay per verdict.
 func (t *Transport) deliver(from int, m network.Message) {
+	if p := t.peers[from]; p != nil && p.isQuarantined(time.Now()) {
+		t.mu.Lock()
+		t.quarantineDrops++
+		t.mu.Unlock()
+		return
+	}
 	t.mu.Lock()
-	if t.seen[m.ID()] {
+	t.maybeRotate()
+	if t.seen[m.ID()] || t.seenOld[m.ID()] {
 		t.mu.Unlock()
 		return
 	}
@@ -203,7 +494,7 @@ func (t *Transport) deliver(from int, m network.Message) {
 			limit = mr.RelayLimit()
 		}
 		t.mu.Lock()
-		over := t.limit[k] >= limit
+		over := t.limit[k]+t.limitOld[k] >= limit
 		if !over {
 			t.limit[k]++
 		}
@@ -223,6 +514,7 @@ func (t *Transport) deliver(from int, m network.Message) {
 // Gossip implements node.Transport.
 func (t *Transport) Gossip(origin int, m network.Message) {
 	t.mu.Lock()
+	t.maybeRotate()
 	t.seen[m.ID()] = true
 	if k := m.LimitKey(); k != "" {
 		t.limit[k]++
@@ -233,67 +525,83 @@ func (t *Transport) Gossip(origin int, m network.Message) {
 	}
 }
 
-// Unicast implements node.Transport.
+// Unicast implements node.Transport. The frame is queued under the
+// peer's supervisor: if the peer is down, it is retried after the
+// redial instead of being dropped — a catch-up request to a rebooting
+// peer survives the outage (bounded by the queue's drop-oldest policy).
 func (t *Transport) Unicast(from, to int, m network.Message) {
 	t.send(to, m)
 }
 
-// conn returns (dialing if needed) the connection to a peer.
-func (t *Transport) conn(peer int) (*wireConn, error) {
-	t.mu.Lock()
-	wc, ok := t.conns[peer]
-	t.mu.Unlock()
-	if ok {
-		return wc, nil
-	}
-	c, err := net.Dial("tcp", t.addrs[peer])
-	if err != nil {
-		return nil, err
-	}
-	wc = &wireConn{c: c, w: bufio.NewWriter(c)}
-	t.mu.Lock()
-	if prev, raced := t.conns[peer]; raced {
-		t.mu.Unlock()
-		c.Close()
-		return prev, nil
-	}
-	t.conns[peer] = wc
-	t.mu.Unlock()
-	return wc, nil
-}
-
-func (t *Transport) dropConn(peer int, wc *wireConn) {
-	t.mu.Lock()
-	if t.conns[peer] == wc {
-		delete(t.conns, peer)
-	}
-	t.mu.Unlock()
-	wc.c.Close()
-}
-
-// send encodes and transmits one frame; failures drop the message
-// (gossip tolerates loss; BA⋆'s timeouts absorb it).
+// send encodes one frame and hands it to the peer's writer queue. It
+// never blocks and never touches a socket: safe from scheduler context.
 func (t *Transport) send(peer int, m network.Message) {
-	wc, err := t.conn(peer)
-	if err != nil {
-		t.reportErr(err)
-		return
-	}
 	tag, payload, err := encodeFrame(t.id, m)
 	if err != nil {
 		t.reportErr(err)
 		return
 	}
-	wc.mu.Lock()
-	err = wire.WriteFrame(wc.w, tag, payload)
-	if err == nil {
-		err = wc.w.Flush()
+	t.enqueue(peer, frame{tag: tag, payload: payload})
+}
+
+// enqueue queues a frame for a peer, starting its writer on first use.
+// The started flag is guarded by t.mu so a writer is never started
+// after Close began waiting on the WaitGroup.
+func (t *Transport) enqueue(id int, f frame) {
+	t.mu.Lock()
+	select {
+	case <-t.closed:
+		t.mu.Unlock()
+		return
+	default:
 	}
-	wc.mu.Unlock()
-	if err != nil {
-		t.dropConn(peer, wc)
-		t.reportErr(err)
+	p := t.peers[id]
+	if p == nil {
+		t.mu.Unlock()
+		return
 	}
+	if !p.started {
+		p.started = true
+		t.wg.Add(1)
+		go p.loop()
+	}
+	t.mu.Unlock()
+	p.pushBack(f)
+}
+
+// --- Frame codec ------------------------------------------------------------
+
+// frame is one encoded transport frame awaiting transmission.
+type frame struct {
+	tag     byte
+	payload []byte
+}
+
+// helloPayload encodes the handshake body: the dialer's address-book id.
+func helloPayload(id int) []byte {
+	e := wire.NewEncoderSize(4)
+	e.Int(id)
+	return e.Data()
+}
+
+// decodeHello validates a handshake frame: tag, length, and an id that
+// is inside the address book and not our own slot.
+func decodeHello(tag byte, payload []byte, nPeers, self int) (int, error) {
+	if tag != tagHello {
+		return 0, fmt.Errorf("first frame tag %#x, want hello", tag)
+	}
+	if len(payload) != 4 {
+		return 0, fmt.Errorf("hello payload of %d bytes", len(payload))
+	}
+	d := wire.NewDecoder(payload)
+	id := d.Int()
+	if id < 0 || id >= nPeers {
+		return 0, fmt.Errorf("hello id %d outside address book [0,%d)", id, nPeers)
+	}
+	if id == self {
+		return 0, fmt.Errorf("hello claims our own id %d", id)
+	}
+	return id, nil
 }
 
 // encodeFrame builds a frame payload: the sender id followed by the
@@ -309,13 +617,18 @@ func encodeFrame(from int, m network.Message) (tag byte, payload []byte, err err
 	return tag, e.Data(), nil
 }
 
-// decodeFrame is the inverse of encodeFrame.
-func decodeFrame(tag byte, payload []byte) (from int, m network.Message, err error) {
+// decodeFrame is the inverse of encodeFrame. The claimed sender id is
+// validated against the address book: an out-of-range id is a protocol
+// violation, not a deliverable message.
+func decodeFrame(tag byte, payload []byte, nPeers int) (from int, m network.Message, err error) {
 	if len(payload) < 4 {
 		return 0, nil, fmt.Errorf("realnet: frame payload of %d bytes", len(payload))
 	}
 	d := wire.NewDecoder(payload[:4])
 	from = d.Int()
+	if from < 0 || from >= nPeers {
+		return 0, nil, fmt.Errorf("realnet: sender id %d outside address book [0,%d)", from, nPeers)
+	}
 	m, err = nodepkg.DecodeMessage(tag, payload[4:])
 	return from, m, err
 }

@@ -1,8 +1,6 @@
 package realnet
 
 import (
-	"net"
-	"sync"
 	"testing"
 	"time"
 
@@ -10,104 +8,7 @@ import (
 	"algorand/internal/ledger"
 	"algorand/internal/network"
 	nodepkg "algorand/internal/node"
-	"algorand/internal/params"
-	"algorand/internal/vtime"
 )
-
-// realCluster boots n full Algorand nodes, each with its own wall-clock
-// scheduler and TCP transport on 127.0.0.1.
-type realCluster struct {
-	n          int
-	addrs      []string
-	sims       []*vtime.Sim
-	transports []*Transport
-	nodes      []*nodepkg.Node
-	provider   crypto.Provider
-}
-
-// fast wall-clock parameters so tests finish in a few seconds.
-func realParams() params.Params {
-	p := params.Default()
-	p.TauProposer = 6
-	p.TauStep = 30
-	p.TauFinal = 60
-	p.LambdaPriority = 150 * time.Millisecond
-	p.LambdaStepVar = 100 * time.Millisecond
-	p.LambdaBlock = time.Second
-	p.LambdaStep = 500 * time.Millisecond
-	p.MaxSteps = 12
-	p.BlockSize = 8 << 10
-	return p
-}
-
-func newRealCluster(t *testing.T, n int, rounds uint64) *realCluster {
-	c := &realCluster{n: n, provider: crypto.NewReal()}
-
-	// Bind ephemeral ports first to build the address book.
-	listeners := make([]net.Listener, n)
-	for i := 0; i < n; i++ {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		listeners[i] = ln
-		c.addrs = append(c.addrs, ln.Addr().String())
-	}
-
-	genesis := make(map[crypto.PublicKey]uint64)
-	ids := make([]crypto.Identity, n)
-	for i := 0; i < n; i++ {
-		ids[i] = c.provider.NewIdentity(crypto.SeedFromUint64(uint64(7000 + i)))
-		genesis[ids[i].PublicKey()] = 10
-	}
-	seed0 := crypto.HashBytes("realnet-genesis")
-
-	cfg := nodepkg.Config{
-		Params:    realParams(),
-		LedgerCfg: ledger.DefaultConfig(),
-	}
-	for i := 0; i < n; i++ {
-		sim := vtime.New().Realtime()
-		tr := NewWithListener(sim, i, c.addrs, listeners[i])
-		nd := nodepkg.New(i, sim, tr, c.provider, ids[i], cfg, genesis, seed0)
-		nd.StopAfterRound = rounds
-		c.sims = append(c.sims, sim)
-		c.transports = append(c.transports, tr)
-		c.nodes = append(c.nodes, nd)
-	}
-	return c
-}
-
-// run starts everything and blocks until all nodes finish their rounds
-// or the wall-clock deadline passes.
-func (c *realCluster) run(t *testing.T, rounds uint64, deadline time.Duration) {
-	var wg sync.WaitGroup
-	for i := 0; i < c.n; i++ {
-		i := i
-		c.transports[i].Start()
-		c.nodes[i].Start()
-		// A watcher inside each scheduler stops its sim once the node is
-		// done (race-free: it runs in scheduler context).
-		c.sims[i].Spawn("watcher", func(p *vtime.Proc) {
-			for c.nodes[i].Ledger().ChainLength() < rounds {
-				p.Sleep(100 * time.Millisecond)
-			}
-			// Linger briefly so we keep serving blocks/votes to peers
-			// that are a step behind.
-			p.Sleep(time.Second)
-			p.Sim().Stop()
-		})
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			c.sims[i].Run(deadline)
-		}()
-	}
-	wg.Wait()
-	for _, tr := range c.transports {
-		tr.Close()
-	}
-}
 
 // TestRealTCPConsensus runs a real multi-node Algorand deployment over
 // loopback TCP with full Ed25519+ECVRF crypto and wall-clock timeouts,
@@ -119,17 +20,8 @@ func TestRealTCPConsensus(t *testing.T) {
 	const n = 6
 	const rounds = 2
 	c := newRealCluster(t, n, rounds)
-	c.run(t, rounds, 60*time.Second)
-
-	done := 0
-	for i := 0; i < n; i++ {
-		if c.nodes[i].Ledger().ChainLength() >= rounds {
-			done++
-		}
-	}
-	if done < n-1 {
-		t.Fatalf("only %d/%d nodes completed %d rounds", done, n, rounds)
-	}
+	c.run(60 * time.Second)
+	c.checkAgreement(n - 1)
 
 	// Safety: per round, all committed values agree.
 	values := map[uint64]crypto.Digest{}
@@ -142,21 +34,15 @@ func TestRealTCPConsensus(t *testing.T) {
 			}
 		}
 	}
-	// And chains match block-for-block across nodes that finished.
-	ref := c.nodes[0].Ledger()
-	for i := 1; i < n; i++ {
-		l := c.nodes[i].Ledger()
-		upTo := l.ChainLength()
-		if ref.ChainLength() < upTo {
-			upTo = ref.ChainLength()
-		}
-		for r := uint64(1); r <= upTo; r++ {
-			a, _ := ref.BlockAt(r)
-			b, _ := l.BlockAt(r)
-			if a.Hash() != b.Hash() {
-				t.Fatalf("round %d: chain mismatch between node 0 and %d", r, i)
-			}
-		}
+
+	// The health surface reports full connectivity and no quarantines
+	// after a clean run.
+	h, ok := c.nodes[0].TransportHealth()
+	if !ok {
+		t.Fatal("realnet transport must report health")
+	}
+	if h.Peers != n-1 || h.Quarantined != 0 {
+		t.Fatalf("health %+v, want %d peers and no quarantines", h, n-1)
 	}
 }
 
@@ -180,6 +66,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		&nodepkg.BlockFill{Block: blk, Recipient: 1},
 		&nodepkg.TxMsg{Tx: ledger.Transaction{From: id.PublicKey(), Amount: 5}},
 	}
+	const nPeers = 16
 	for _, m := range msgs {
 		if sz := encodeSize(m); sz != m.WireSize()+9 {
 			t.Fatalf("%T framed size %d, want WireSize %d + 9", m, sz, m.WireSize())
@@ -188,7 +75,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%T encode: %v", m, err)
 		}
-		from, back, err := decodeFrame(tag, payload)
+		from, back, err := decodeFrame(tag, payload, nPeers)
 		if err != nil {
 			t.Fatalf("%T decode: %v", m, err)
 		}
@@ -201,56 +88,46 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDecodeFrameRejectsAlienSender pins the address-book validation: a
+// frame whose claimed sender id falls outside [0, nPeers) must fail to
+// decode rather than flow into relay bookkeeping with a bogus id.
+func TestDecodeFrameRejectsAlienSender(t *testing.T) {
+	msg := &nodepkg.BlockRequest{Hash: crypto.HashBytes("x"), Requester: 1, Nonce: 1}
+	// (The encoder clamps negatives to 0, so out-of-range means >= nPeers
+	// on the wire.)
+	for _, from := range []int{5, 100} {
+		tag, payload, err := encodeFrame(from, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := decodeFrame(tag, payload, 5); err == nil {
+			t.Fatalf("sender id %d accepted against a 5-entry address book", from)
+		}
+	}
+	// Boundary: the largest valid id decodes.
+	tag, payload, err := encodeFrame(4, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := decodeFrame(tag, payload, 5); err != nil {
+		t.Fatalf("sender id 4 rejected against a 5-entry address book: %v", err)
+	}
+}
+
 func TestTransportDedupAndRelayLimit(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock TCP test")
 	}
-	// Three transports; node 1 counts deliveries.
-	var lns []net.Listener
-	var addrs []string
-	for i := 0; i < 3; i++ {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		lns = append(lns, ln)
-		addrs = append(addrs, ln.Addr().String())
-	}
-	var sims []*vtime.Sim
-	var trs []*Transport
-	counts := make([]int, 3)
-	var mu sync.Mutex
-	for i := 0; i < 3; i++ {
-		i := i
-		sim := vtime.New().Realtime()
-		tr := NewWithListener(sim, i, addrs, lns[i])
-		tr.SetHandler(i, network.HandlerFunc(func(from int, m network.Message) network.Verdict {
-			mu.Lock()
-			counts[i]++
-			mu.Unlock()
-			return network.Verdict{Relay: true}
-		}))
-		tr.Start()
-		sims = append(sims, sim)
-		trs = append(trs, tr)
-	}
-	for i := range sims {
-		i := i
-		go sims[i].Run(2 * time.Second)
-	}
+	// Three transports; nodes 1 and 2 count deliveries.
+	nets := newMiniNet(t, 3, nil, 3*time.Second)
 
 	msg := &nodepkg.BlockRequest{Hash: crypto.HashBytes("dup"), Requester: 0, Nonce: 1}
-	trs[0].Gossip(0, msg)
-	trs[0].Gossip(0, msg) // duplicate: receivers must drop it
+	nets[0].tr.Gossip(0, msg)
+	nets[0].tr.Gossip(0, msg) // duplicate: receivers must drop it
 
-	time.Sleep(500 * time.Millisecond)
-	mu.Lock()
-	c1, c2 := counts[1], counts[2]
-	mu.Unlock()
+	time.Sleep(700 * time.Millisecond)
+	c1, c2 := nets[1].count(), nets[2].count()
 	if c1 != 1 || c2 != 1 {
 		t.Fatalf("deliveries %d/%d, want exactly 1 each (dedup)", c1, c2)
-	}
-	for _, tr := range trs {
-		tr.Close()
 	}
 }

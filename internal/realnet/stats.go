@@ -1,0 +1,131 @@
+package realnet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	nodepkg "algorand/internal/node"
+)
+
+// PeerStats is one peer's transport-level state snapshot.
+type PeerStats struct {
+	Peer      int
+	Connected bool // outbound connection currently established
+
+	// Outbound queue and supervisor.
+	QueueDepth   int
+	QueueBytes   int
+	QueueDrops   uint64 // frames dropped by the drop-oldest policy
+	Dials        uint64 // successful connects
+	Redials      uint64 // successful connects after a previous connect
+	ConnectFails uint64 // failed dial attempts
+	FramesOut    uint64
+	BytesOut     uint64
+
+	// Inbound accounting and misbehavior.
+	FramesIn    uint64
+	BytesIn     uint64
+	Malformed   uint64
+	Spoofed     uint64
+	RateAbuse   uint64
+	Score       int
+	Quarantined bool
+	Quarantines uint64 // times this peer has been quarantined
+}
+
+// Stats is a point-in-time snapshot of the whole transport.
+type Stats struct {
+	Peers []PeerStats // sorted by peer id, self excluded
+
+	SeenEntries     int // both generations of the dedup cache
+	LimitEntries    int // both generations of the relay-limit cache
+	InboundConns    int // live accepted connections
+	InboundRejected uint64
+	QuarantineDrops uint64 // frames/conns refused due to quarantine
+}
+
+// Stats snapshots the transport. Safe from any goroutine.
+func (t *Transport) Stats() Stats {
+	now := time.Now()
+	t.mu.Lock()
+	s := Stats{
+		SeenEntries:     len(t.seen) + len(t.seenOld),
+		LimitEntries:    len(t.limit) + len(t.limitOld),
+		InboundConns:    len(t.inbound),
+		InboundRejected: t.inboundRejected,
+		QuarantineDrops: t.quarantineDrops,
+	}
+	peers := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	t.mu.Unlock()
+	sort.Slice(peers, func(i, j int) bool { return peers[i].id < peers[j].id })
+	for _, p := range peers {
+		p.mu.Lock()
+		s.Peers = append(s.Peers, PeerStats{
+			Peer:         p.id,
+			Connected:    p.connected,
+			QueueDepth:   len(p.queue),
+			QueueBytes:   p.queuedBytes,
+			QueueDrops:   p.drops,
+			Dials:        p.dials,
+			Redials:      p.redials,
+			ConnectFails: p.connectFails,
+			FramesOut:    p.framesOut,
+			BytesOut:     p.bytesOut,
+			FramesIn:     p.framesIn,
+			BytesIn:      p.bytesIn,
+			Malformed:    p.malformed,
+			Spoofed:      p.spoofed,
+			RateAbuse:    p.rateAbuse,
+			Score:        p.score,
+			Quarantined:  now.Before(p.quarantinedUntil),
+			Quarantines:  p.quarantines,
+		})
+		p.mu.Unlock()
+	}
+	return s
+}
+
+// Health implements node.TransportHealthReporter: the coarse liveness
+// summary the node (and its operator) watches.
+func (t *Transport) Health() nodepkg.TransportHealth {
+	s := t.Stats()
+	h := nodepkg.TransportHealth{Peers: len(s.Peers)}
+	for _, p := range s.Peers {
+		if p.Connected {
+			h.Connected++
+		}
+		if p.Quarantined {
+			h.Quarantined++
+		}
+		h.QueueDrops += p.QueueDrops
+		h.Redials += p.Redials
+	}
+	return h
+}
+
+// String renders a compact operator-facing summary, one line per peer.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "transport: %d inbound conns (%d rejected), seen %d, limits %d, quarantine drops %d\n",
+		s.InboundConns, s.InboundRejected, s.SeenEntries, s.LimitEntries, s.QuarantineDrops)
+	for _, p := range s.Peers {
+		state := "down"
+		if p.Connected {
+			state = "up"
+		}
+		if p.Quarantined {
+			state = "quarantined"
+		}
+		fmt.Fprintf(&b, "  peer %d [%s]: q=%d/%dB drops=%d dials=%d redials=%d fails=%d out=%d/%dB in=%d/%dB bad=%d/%d/%d\n",
+			p.Peer, state, p.QueueDepth, p.QueueBytes, p.QueueDrops,
+			p.Dials, p.Redials, p.ConnectFails,
+			p.FramesOut, p.BytesOut, p.FramesIn, p.BytesIn,
+			p.Malformed, p.Spoofed, p.RateAbuse)
+	}
+	return b.String()
+}

@@ -202,6 +202,24 @@ func (s *Sim) Inject(fn func()) {
 	s.inject <- fn
 }
 
+// InjectStop is Inject with an abort channel: it enqueues fn unless
+// stop is closed first, and reports whether fn was enqueued. Network
+// readers use it so that a full scheduler queue on a stopped or
+// shutting-down simulation cannot wedge them forever (the enqueued fn
+// may still never run if the simulation has already stopped; callers
+// must tolerate that, as gossip tolerates loss at shutdown).
+func (s *Sim) InjectStop(stop <-chan struct{}, fn func()) bool {
+	if !s.realtime {
+		panic("vtime: InjectStop requires realtime mode")
+	}
+	select {
+	case s.inject <- fn:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
 // runRealtime is the wall-clock event loop.
 func (s *Sim) runRealtime(horizon time.Duration) time.Duration {
 	start := time.Now()
