@@ -25,6 +25,7 @@ import (
 	"algorand/internal/node"
 	"algorand/internal/params"
 	"algorand/internal/realnet"
+	"algorand/internal/txflow"
 	"algorand/internal/vtime"
 )
 
@@ -39,6 +40,8 @@ func main() {
 		verbose  = flag.Bool("v", false, "log transport errors")
 		stats    = flag.Bool("stats", false, "print per-peer transport statistics on exit")
 		statsSec = flag.Int("stats-interval", 0, "also print transport statistics every N seconds (0 = off)")
+		submit   = flag.String("submit-addr", "", "listen address for the TCP/JSON transaction submission endpoint (empty = off)")
+		workers  = flag.Int("tx-workers", 4, "signature-verification workers for gossip batches (0 = verify inline)")
 	)
 	flag.Parse()
 
@@ -89,6 +92,11 @@ func main() {
 	}
 
 	cfg := node.Config{Params: prm, LedgerCfg: ledger.DefaultConfig()}
+	cfg.TxFlowWorkers = *workers
+	// The RPC server submits from its own goroutines, so the pipeline
+	// clock must be readable off the scheduler: use the wall clock.
+	epoch := time.Now()
+	cfg.TxFlow.Now = func() time.Duration { return time.Since(epoch) }
 	nd := node.New(*id, sim, transport, provider, self, cfg, genesis, seed0)
 	nd.StopAfterRound = *rounds
 
@@ -98,12 +106,23 @@ func main() {
 
 	transport.Start()
 	nd.Start()
+	defer nd.TxFlow().Close()
+	if *submit != "" {
+		srv, err := txflow.ListenAndServe(*submit, nd.TxFlow())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("node %d accepting transactions on %s\n", *id, srv.Addr())
+	}
 	if *statsSec > 0 {
 		every := time.Duration(*statsSec) * time.Second
 		sim.Spawn("stats", func(p *vtime.Proc) {
 			for {
 				p.Sleep(every)
 				fmt.Fprintf(os.Stderr, "%s\n", transport.Stats())
+				fmt.Fprintf(os.Stderr, "%s\n", nd.TxFlow().Stats())
 			}
 		})
 	}
@@ -137,6 +156,7 @@ func main() {
 		fmt.Printf("transport: %d/%d peers connected, %d quarantined, %d queue drops, %d redials\n",
 			h.Connected, h.Peers, h.Quarantined, h.QueueDrops, h.Redials)
 	}
+	fmt.Printf("%s\n", nd.TxFlow().Stats())
 	if *stats {
 		fmt.Printf("%s\n", transport.Stats())
 	}

@@ -234,7 +234,7 @@ func CommonCoin(votes []ValidatedVote) int {
 	for _, vv := range votes {
 		for j := uint64(1); j <= vv.NumVotes; j++ {
 			h := sortition.SubUserHash(vv.Vote.SortHash, j)
-			if !have || digestLess(h, minHash) {
+			if !have || h.Less(minHash) {
 				minHash = h
 				have = true
 			}
@@ -244,15 +244,6 @@ func CommonCoin(votes []ValidatedVote) int {
 		return 0
 	}
 	return int(minHash[len(minHash)-1] & 1)
-}
-
-func digestLess(a, b crypto.Digest) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return false
 }
 
 // BinaryResult carries BinaryBA⋆'s conclusion.

@@ -123,6 +123,28 @@ func TestChaosDirected(t *testing.T) {
 				DoS: []DoSFault{{Nodes: []int{2, 9}, Start: 5 * time.Second, End: 25 * time.Second}}},
 		},
 		{
+			// Figure 1's transaction flow under fire: a messy payment
+			// stream (duplicate submissions, stale nonces, fee churn
+			// against tiny pool bounds) rides through a partition and a
+			// crash. The committed-transaction invariant demands only
+			// valid, unique payments ever land in blocks — and the run
+			// must still commit real traffic.
+			name: "tx-load-under-faults",
+			s: Scenario{Seed: 108, Nodes: 12, Rounds: 6, TxLoad: 25,
+				Partitions: []PartitionFault{{Start: 6 * time.Second, End: 20 * time.Second, Cut: 6}},
+				Crashes:    []CrashFault{{Node: 3, At: 5 * time.Second, RestartAt: 15 * time.Second}}},
+			post: func(t *testing.T, res *Result) {
+				committed := res.Cluster.CommittedTxCount(res.Scenario.Rounds)
+				if committed == 0 {
+					t.Error("no transactions committed under load; the pipeline stalled")
+				}
+				st := res.Cluster.Nodes[0].TxFlow().Stats()
+				if st.Duplicate == 0 && st.StaleNonce == 0 {
+					t.Errorf("load generator's garbage never reached node 0's pipeline: %v", st)
+				}
+			},
+		},
+		{
 			// Everything at once: equivocators, a partition, background
 			// loss, a DoS'd node, and a crash spanning the heal.
 			name: "kitchen-sink",

@@ -2,13 +2,17 @@ package chaos
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"time"
 
+	"algorand/internal/ledger"
 	"algorand/internal/network"
 	"algorand/internal/params"
 	"algorand/internal/sim"
+	"algorand/internal/txflow"
+	"algorand/internal/vtime"
 )
 
 // livenessBudget is how much virtual time a run gets after its last
@@ -69,6 +73,11 @@ func RunWith(s Scenario, preStart func(c *sim.Cluster)) *Result {
 	honest := cfg.Params
 	if s.TStepOverride > 0 {
 		cfg.Params.TStep = s.TStepOverride
+	}
+	if s.TxLoad > 0 {
+		// Deliberately small pool bounds: at these rates the lowest-fee
+		// eviction path fires constantly, which is the point.
+		cfg.TxFlow = txflow.Config{Shards: 4, MaxTxs: 256, MaxBytes: 64 << 10, MaxPerSender: 48}
 	}
 	healAt := s.LastFaultClear()
 	cfg.Horizon = healAt + livenessBudget
@@ -166,11 +175,81 @@ func RunWith(s Scenario, preStart func(c *sim.Cluster)) *Result {
 		})
 	}
 
+	if s.TxLoad > 0 {
+		startTxLoad(c, s.TxLoad, s.Seed)
+	}
+
 	if preStart != nil {
 		preStart(c)
 	}
 	res.Elapsed = c.Run()
 	return res
+}
+
+// startTxLoad drives a seeded, deliberately messy payment stream
+// through the ingestion pipeline for the whole run: fresh transactions
+// with randomized fees (eviction churn against the shrunken pool
+// bounds), duplicate submissions of earlier transactions — often at a
+// different node — and stale nonce re-use. Rejections are expected and
+// ignored; what matters is the invariant that none of the garbage ever
+// reaches a committed block.
+func startTxLoad(c *sim.Cluster, txPerSecond float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed ^ 0x74786c6f6164)) // "txload"
+	interval := time.Duration(float64(time.Second) / txPerSecond)
+	nonces := make(map[int]uint64)
+	var history []*ledger.Transaction
+	c.Sim.Spawn("chaos-txload", func(p *vtime.Proc) {
+		for !c.Sim.Stopped() {
+			p.Sleep(interval)
+			via := rng.Intn(len(c.Nodes))
+			var tx *ledger.Transaction
+			switch draw := rng.Float64(); {
+			case draw < 0.20 && len(history) > 0:
+				// Duplicate submission of an already-sent transaction.
+				tx = history[rng.Intn(len(history))]
+			case draw < 0.30:
+				// Stale nonce: re-use the sender's first nonce forever.
+				from := rng.Intn(len(c.Nodes))
+				tx = &ledger.Transaction{
+					From:   c.Identity(from).PublicKey(),
+					To:     c.Identity((from + 1) % len(c.Nodes)).PublicKey(),
+					Amount: 1,
+					Nonce:  0,
+				}
+				tx.Sign(c.Identity(from))
+			default:
+				from := rng.Intn(len(c.Nodes))
+				to := rng.Intn(len(c.Nodes))
+				if to == from {
+					to = (to + 1) % len(c.Nodes)
+				}
+				tx = &ledger.Transaction{
+					From:   c.Identity(from).PublicKey(),
+					To:     c.Identity(to).PublicKey(),
+					Amount: 1,
+					Fee:    uint64(rng.Intn(8)),
+					Nonce:  nonces[from],
+				}
+				nonces[from]++
+				tx.Sign(c.Identity(from))
+				history = append(history, tx)
+			}
+			if err := c.Nodes[via].SubmitTx(tx); err != nil {
+				// Wind down once every node has stopped, so the sim can
+				// drain instead of running to the horizon.
+				done := true
+				for _, n := range c.Nodes {
+					if !n.Done() {
+						done = false
+						break
+					}
+				}
+				if done {
+					return
+				}
+			}
+		}
+	})
 }
 
 // Check runs the full invariant suite against the finished run.

@@ -241,6 +241,48 @@ func CheckInvariants(c *sim.Cluster, opt CheckOptions) []Violation {
 		}
 	}
 
+	// --- Committed transactions (Figure 1 / ingestion pipeline): every
+	// transaction in an honest node's chain must carry a valid signature
+	// and apply cleanly in chain order from genesis — sufficient balance
+	// for amount+fee, exactly sequential nonce — and no transaction may
+	// appear twice anywhere in the chain. This is what makes the tx-load
+	// garbage (duplicates, stale nonces, unfunded spenders left behind by
+	// fee churn) safe: the pipeline may mis-reject, but a block that
+	// *commits* any of it is a violation.
+	for _, n := range c.Nodes {
+		if !honest(n.ID) {
+			continue
+		}
+		l := n.Ledger()
+		bal := ledger.NewBalances(c.Genesis)
+		seen := map[crypto.Digest]uint64{}
+		for r := uint64(1); r <= l.ChainLength(); r++ {
+			b, ok := l.BlockAt(r)
+			if !ok {
+				continue // chain-gap already reported above
+			}
+			for i := range b.Txns {
+				tx := &b.Txns[i]
+				id := tx.ID()
+				if first, dup := seen[id]; dup {
+					vs = append(vs, Violation{Kind: "dup-tx", Node: n.ID, Round: r,
+						Detail: fmt.Sprintf("transaction %x also committed in round %d", id[:4], first)})
+					continue
+				}
+				seen[id] = r
+				if !tx.VerifySig(c.Provider) {
+					vs = append(vs, Violation{Kind: "invalid-tx", Node: n.ID, Round: r,
+						Detail: fmt.Sprintf("transaction %x: bad signature", id[:4])})
+					continue
+				}
+				if err := bal.ApplyTx(tx); err != nil {
+					vs = append(vs, Violation{Kind: "invalid-tx", Node: n.ID, Round: r,
+						Detail: fmt.Sprintf("transaction %x does not apply: %v", id[:4], err)})
+				}
+			}
+		}
+	}
+
 	// --- Liveness (§3, §8.2): once the last fault clears, every live
 	// honest node finishes the run within the liveness window (the
 	// horizon the harness set).

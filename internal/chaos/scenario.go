@@ -72,6 +72,15 @@ type Scenario struct {
 	Crashes    []CrashFault
 	DoS        []DoSFault
 
+	// TxLoad, when > 0, drives a seeded payment stream (transactions per
+	// virtual second) through every node's ingestion pipeline for the
+	// whole run — fresh fee-paying transactions plus deliberate garbage:
+	// duplicate submissions, stale nonce re-use, and fee churn against
+	// deliberately small pool bounds so eviction fires constantly. The
+	// committed-transaction invariant demands none of the garbage lands
+	// in a block.
+	TxLoad float64
+
 	// TStepOverride, when > 0, weakens every node's ordinary-step vote
 	// threshold until TStepRestoreAt — the §8.2 fork generator: during a
 	// partition both halves can then commit *tentative* blocks, and the
@@ -136,6 +145,9 @@ func (s *Scenario) String() string {
 	}
 	if s.TStepOverride > 0 {
 		fmt.Fprintf(&b, " tstep=%.2f until %v", s.TStepOverride, s.TStepRestoreAt)
+	}
+	if s.TxLoad > 0 {
+		fmt.Fprintf(&b, " txload=%.0f/s", s.TxLoad)
 	}
 	return b.String()
 }
@@ -211,6 +223,10 @@ func RandomScenario(seed int64) Scenario {
 		}
 		start := sec(3, 10)
 		s.DoS = append(s.DoS, DoSFault{Nodes: victims, Start: start, End: start + sec(8, 20)})
+	}
+	// Drawn last so fault schedules for pre-existing seeds are unchanged.
+	if rng.Float64() < 0.5 {
+		s.TxLoad = float64(5 + rng.Intn(26)) // 5..30 tx/s
 	}
 	return s
 }

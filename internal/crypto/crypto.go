@@ -15,6 +15,7 @@
 package crypto
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -37,6 +38,18 @@ func (d Digest) Hex() string {
 // IsZero reports whether d is the all-zero digest.
 func (d Digest) IsZero() bool {
 	return d == Digest{}
+}
+
+// Compare orders digests lexicographically by their canonical byte
+// encoding, the tie-break order used by the protocol (common-coin
+// min-hash selection, deterministic fork-tip ordering).
+func (d Digest) Compare(o Digest) int {
+	return bytes.Compare(d[:], o[:])
+}
+
+// Less reports whether d sorts before o in canonical byte order.
+func (d Digest) Less(o Digest) bool {
+	return d.Compare(o) < 0
 }
 
 // HashBytes hashes the concatenation of the given byte slices with a
@@ -76,6 +89,18 @@ type PublicKey [32]byte
 // String returns a short hex prefix for logging.
 func (pk PublicKey) String() string {
 	return hex.EncodeToString(pk[:4])
+}
+
+// Compare orders public keys lexicographically by their canonical byte
+// encoding, the order used wherever senders must be sorted
+// deterministically (block assembly, mempool sharding).
+func (pk PublicKey) Compare(o PublicKey) int {
+	return bytes.Compare(pk[:], o[:])
+}
+
+// Less reports whether pk sorts before o in canonical byte order.
+func (pk PublicKey) Less(o PublicKey) bool {
+	return pk.Compare(o) < 0
 }
 
 // VRFOutput is the 64-byte pseudorandom output of the VRF ("hash" in

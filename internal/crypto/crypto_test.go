@@ -223,3 +223,55 @@ func BenchmarkFastVRFVerify(b *testing.B) {
 		p.VRFVerify(id.PublicKey(), alpha, proof)
 	}
 }
+
+// TestCanonicalOrdering pins Digest/PublicKey ordering to lexicographic
+// byte order (bytes.Compare semantics): the protocol's deterministic
+// tie-breaks (common-coin min-hash, fork-tip ordering, sender sorting)
+// all rely on this one definition.
+func TestCanonicalOrdering(t *testing.T) {
+	cases := []struct {
+		a, b [32]byte
+		want int // sign of Compare(a, b)
+	}{
+		{[32]byte{}, [32]byte{}, 0},
+		{[32]byte{0x01}, [32]byte{0x02}, -1},
+		{[32]byte{0x02}, [32]byte{0x01}, 1},
+		// Differ only in the last byte: the whole array matters.
+		{[32]byte{31: 0x01}, [32]byte{31: 0x02}, -1},
+		// Unsigned comparison: 0x80 > 0x7f.
+		{[32]byte{0x80}, [32]byte{0x7f}, 1},
+		// Earlier byte dominates later ones.
+		{[32]byte{0, 0xff, 0xff}, [32]byte{1, 0, 0}, -1},
+	}
+	sign := func(x int) int {
+		switch {
+		case x < 0:
+			return -1
+		case x > 0:
+			return 1
+		}
+		return 0
+	}
+	for i, c := range cases {
+		if got := sign(Digest(c.a).Compare(Digest(c.b))); got != c.want {
+			t.Errorf("case %d: Digest.Compare = %d, want %d", i, got, c.want)
+		}
+		if got := Digest(c.a).Less(Digest(c.b)); got != (c.want < 0) {
+			t.Errorf("case %d: Digest.Less = %v, want %v", i, got, c.want < 0)
+		}
+		if got := sign(PublicKey(c.a).Compare(PublicKey(c.b))); got != c.want {
+			t.Errorf("case %d: PublicKey.Compare = %d, want %d", i, got, c.want)
+		}
+		if got := PublicKey(c.a).Less(PublicKey(c.b)); got != (c.want < 0) {
+			t.Errorf("case %d: PublicKey.Less = %v, want %v", i, got, c.want < 0)
+		}
+	}
+	// Agreement with the stdlib on random inputs.
+	for i := 0; i < 200; i++ {
+		a := HashUint64("order-test-a", uint64(i))
+		b := HashUint64("order-test-b", uint64(i))
+		if got, want := a.Compare(b), bytes.Compare(a[:], b[:]); got != want {
+			t.Fatalf("iter %d: Compare = %d, bytes.Compare = %d", i, got, want)
+		}
+	}
+}

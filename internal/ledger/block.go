@@ -89,7 +89,7 @@ func (b *Block) DecodeFrom(d *wire.Decoder) {
 	b.SeedProof = d.Bytes()
 	d.Fixed(b.Proposer[:])
 	b.ProposerProof = d.Bytes()
-	n := d.Count(txMinWireSize)
+	n := d.Count(TxMinWireSize)
 	b.Txns = nil
 	if n > 0 {
 		b.Txns = make([]Transaction, n)

@@ -367,21 +367,12 @@ func (l *Ledger) ForkTips() []*Block {
 	for i := 0; i < len(tips); i++ {
 		for j := i + 1; j < len(tips); j++ {
 			if tips[j].Round > tips[i].Round ||
-				(tips[j].Round == tips[i].Round && less(tips[i].Hash(), tips[j].Hash())) {
+				(tips[j].Round == tips[i].Round && tips[i].Hash().Less(tips[j].Hash())) {
 				tips[i], tips[j] = tips[j], tips[i]
 			}
 		}
 	}
 	return tips
-}
-
-func less(a, b crypto.Digest) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return false
 }
 
 // SwitchHead re-points the canonical chain at the entry with the given

@@ -14,18 +14,22 @@ import (
 
 // Transaction is a payment signed by the sender's key, transferring
 // money from one public key to another (§4). Nonce is the sender's
-// per-account sequence number and provides replay protection.
+// per-account sequence number and provides replay protection. Fee is
+// burned from the sender's balance on commit and orders transactions
+// in the mempool (highest fee drains first; zero-fee transactions
+// remain valid and sort last).
 type Transaction struct {
 	From   crypto.PublicKey
 	To     crypto.PublicKey
 	Amount uint64
+	Fee    uint64
 	Nonce  uint64
 	Sig    []byte
 }
 
-// txSignedSize is the size of the signed core (two keys, amount,
+// txSignedSize is the size of the signed core (two keys, amount, fee,
 // nonce); the canonical encoding appends the length-prefixed signature.
-const txSignedSize = 32 + 32 + 8 + 8
+const txSignedSize = 32 + 32 + 8 + 8 + 8
 
 // TxWireSize is the canonical wire size of a signed transaction
 // (signed core plus length-prefixed 64-byte Ed25519 signature), used
@@ -33,14 +37,17 @@ const txSignedSize = 32 + 32 + 8 + 8
 // universal round-trip test.
 const TxWireSize = txSignedSize + 4 + 64
 
-// txMinWireSize is the smallest possible encoding (unsigned).
-const txMinWireSize = txSignedSize + 4
+// TxMinWireSize is the smallest possible encoding (unsigned), the
+// per-element bound used when decoding transaction batches from
+// untrusted peers.
+const TxMinWireSize = txSignedSize + 4
 
 // encodeSigned appends the fields covered by the signature.
 func (tx *Transaction) encodeSigned(e *wire.Encoder) {
 	e.Fixed(tx.From[:])
 	e.Fixed(tx.To[:])
 	e.Uint64(tx.Amount)
+	e.Uint64(tx.Fee)
 	e.Uint64(tx.Nonce)
 }
 
@@ -57,6 +64,7 @@ func (tx *Transaction) DecodeFrom(d *wire.Decoder) {
 	d.Fixed(tx.From[:])
 	d.Fixed(tx.To[:])
 	tx.Amount = d.Uint64()
+	tx.Fee = d.Uint64()
 	tx.Nonce = d.Uint64()
 	tx.Sig = d.Bytes()
 }
@@ -137,8 +145,11 @@ func (b *Balances) CheckTx(tx *Transaction) error {
 	if tx.Amount == 0 {
 		return errors.New("ledger: zero-amount transaction")
 	}
-	if b.Money[tx.From] < tx.Amount {
-		return fmt.Errorf("ledger: insufficient balance %d < %d", b.Money[tx.From], tx.Amount)
+	if tx.Amount+tx.Fee < tx.Amount {
+		return errors.New("ledger: amount+fee overflows")
+	}
+	if b.Money[tx.From] < tx.Amount+tx.Fee {
+		return fmt.Errorf("ledger: insufficient balance %d < %d", b.Money[tx.From], tx.Amount+tx.Fee)
 	}
 	if tx.Nonce != b.Nonce[tx.From] {
 		return fmt.Errorf("ledger: bad nonce %d, want %d", tx.Nonce, b.Nonce[tx.From])
@@ -146,13 +157,16 @@ func (b *Balances) CheckTx(tx *Transaction) error {
 	return nil
 }
 
-// ApplyTx validates and applies tx.
+// ApplyTx validates and applies tx. The fee is burned: it leaves the
+// sender's balance and the total supply W, so fees cannot be minted
+// into sortition weight by self-paying proposers.
 func (b *Balances) ApplyTx(tx *Transaction) error {
 	if err := b.CheckTx(tx); err != nil {
 		return err
 	}
-	b.Money[tx.From] -= tx.Amount
+	b.Money[tx.From] -= tx.Amount + tx.Fee
 	b.Money[tx.To] += tx.Amount
+	b.Total -= tx.Fee
 	b.Nonce[tx.From]++
 	return nil
 }

@@ -199,6 +199,85 @@ func (m *TxMsg) ID() crypto.Digest {
 // LimitKey: transactions are not rate-limited per step.
 func (m *TxMsg) LimitKey() string { return "" }
 
+// MaxTxBatchBytes caps the cumulative encoded size of the transactions
+// in one TxBatch message. Peers sending larger batches are malformed
+// (realnet scores and drops them); honest flushes pack below the cap.
+const MaxTxBatchBytes = 128 << 10
+
+// maxTxBatchTxs bounds the element count a decoder will accept.
+const maxTxBatchTxs = MaxTxBatchBytes / ledger.TxMinWireSize
+
+// TxBatch carries freshly admitted transactions in bulk, so tx gossip
+// costs one frame per flush interval instead of one per payment.
+// Batches are never relayed verbatim: each receiver admits the
+// transactions through its own txflow pipeline and re-batches whatever
+// was fresh for its neighbors, so duplicate suppression falls out of
+// the mempool instead of the gossip seen-cache.
+type TxBatch struct {
+	Txns []ledger.Transaction
+}
+
+// WireSize implements network.Message.
+func (m *TxBatch) WireSize() int {
+	total := 4
+	for i := range m.Txns {
+		total += m.Txns[i].WireSize()
+	}
+	return total
+}
+
+// EncodeTo implements wire.Marshaler.
+func (m *TxBatch) EncodeTo(e *wire.Encoder) {
+	e.Int(len(m.Txns))
+	for i := range m.Txns {
+		m.Txns[i].EncodeTo(e)
+	}
+}
+
+// DecodeFrom implements wire.Unmarshaler. Hostile counts are rejected
+// twice over: Count bounds the element count by the remaining input,
+// and the cumulative size cap fails batches above MaxTxBatchBytes.
+func (m *TxBatch) DecodeFrom(d *wire.Decoder) {
+	n := d.Count(ledger.TxMinWireSize)
+	if n > maxTxBatchTxs {
+		d.Fail(fmt.Errorf("node: tx batch of %d exceeds cap %d", n, maxTxBatchTxs))
+		return
+	}
+	m.Txns = nil
+	if n == 0 {
+		return
+	}
+	m.Txns = make([]ledger.Transaction, n)
+	total := 4
+	for i := range m.Txns {
+		m.Txns[i].DecodeFrom(d)
+		if d.Err() != nil {
+			m.Txns = nil
+			return
+		}
+		total += m.Txns[i].WireSize()
+	}
+	if total > MaxTxBatchBytes {
+		m.Txns = nil
+		d.Fail(fmt.Errorf("node: tx batch payload %d exceeds cap %d", total, MaxTxBatchBytes))
+	}
+}
+
+// ID hashes the contained transaction IDs: identical re-batches are
+// the same message to the duplicate-suppression layer.
+func (m *TxBatch) ID() crypto.Digest {
+	ids := make([]byte, 0, 32*len(m.Txns))
+	for i := range m.Txns {
+		id := m.Txns[i].ID()
+		ids = append(ids, id[:]...)
+	}
+	return crypto.HashBytes("msg.txbatch", ids)
+}
+
+// LimitKey: batches are never relayed (receivers re-batch), so no
+// relay limit applies.
+func (m *TxBatch) LimitKey() string { return "" }
+
 // BlockFill is a bare committed-block body answering a resolveBlock
 // fallback request (§7.1 "obtain it from other users"); unlike
 // BlockGossip it carries no proposal credentials — the requester
@@ -363,6 +442,7 @@ const (
 	TagBlockFill
 	TagChainRequest
 	TagChainReply
+	TagTxBatch
 )
 
 // wireMessage is the constraint every gossip message satisfies: the
@@ -394,6 +474,8 @@ func MessageTag(m network.Message) (byte, bool) {
 		return TagChainRequest, true
 	case *ChainReply:
 		return TagChainReply, true
+	case *TxBatch:
+		return TagTxBatch, true
 	}
 	return 0, false
 }
@@ -420,6 +502,8 @@ func NewMessage(tag byte) network.Message {
 		return new(ChainRequest)
 	case TagChainReply:
 		return new(ChainReply)
+	case TagTxBatch:
+		return new(TxBatch)
 	}
 	return nil
 }

@@ -6,7 +6,9 @@
 package node
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"algorand/internal/agreement"
@@ -16,7 +18,7 @@ import (
 	"algorand/internal/network"
 	"algorand/internal/params"
 	"algorand/internal/sortition"
-	"algorand/internal/txpool"
+	"algorand/internal/txflow"
 	"algorand/internal/vtime"
 )
 
@@ -92,6 +94,20 @@ type Config struct {
 	// equivocating proposer instead of discarding both (ablation of the
 	// §10.4 optimization).
 	KeepFirstOnEquivocation bool
+	// TxFlow sizes the transaction ingestion pipeline (see
+	// internal/txflow). The zero value gets defaults; unless TxFlow.Now
+	// is set, the pipeline clock is the node's (virtual) scheduler
+	// clock.
+	TxFlow txflow.Config
+	// TxFlowWorkers, when positive, launches that many background
+	// signature-verification workers and offloads gossip-batch
+	// ingestion to them (real deployments). Zero keeps the pipeline
+	// fully synchronous in the scheduler goroutine, which the
+	// deterministic simulator requires.
+	TxFlowWorkers int
+	// TxFlushInterval is how often freshly admitted transactions are
+	// flushed to neighbors as TxBatch gossip (default 250ms).
+	TxFlushInterval time.Duration
 	// PipelineFinalStep overlaps the §7.4 final confirmation step with
 	// the next round: the node commits tentatively after BinaryBA⋆ and
 	// upgrades the block to final in the background when the final-step
@@ -124,7 +140,7 @@ type Node struct {
 	provider crypto.Provider
 	identity crypto.Identity
 	ledger   *ledger.Ledger
-	pool     *txpool.Pool
+	flow     *txflow.Flow
 	store    *ledger.Store
 	net      Transport
 	sim      *vtime.Sim
@@ -161,6 +177,12 @@ type Node struct {
 	// halted marks a simulated crash: the node stops handling and
 	// emitting messages and its process winds down (see Halt).
 	halted bool
+
+	// finished is set when the main process returns after completing
+	// its configured rounds; auxiliary processes (tx flushing) use it
+	// to wind down too. Atomic because SubmitTx reads it from RPC
+	// goroutines while the scheduler winds the node down.
+	finished atomic.Bool
 
 	// alienVotes counts votes rejected for extending a different chain —
 	// the fork signal that triggers recovery participation (§8.2).
@@ -210,6 +232,16 @@ func New(
 	if cfg.MaxRecoveryAttempts == 0 {
 		cfg.MaxRecoveryAttempts = 8
 	}
+	if cfg.TxFlushInterval == 0 {
+		cfg.TxFlushInterval = 250 * time.Millisecond
+	}
+	if cfg.TxFlow.Now == nil {
+		// The pipeline clock follows the scheduler. Virtual-time runs
+		// only call into the Flow from scheduler context; realtime
+		// deployments that submit from other goroutines (the RPC
+		// server) override Now with a wall clock in cmd/algorand-node.
+		cfg.TxFlow.Now = sim.Now
+	}
 	shardCount := cfg.ShardCount
 	if shardCount == 0 {
 		shardCount = 1
@@ -220,7 +252,7 @@ func New(
 		provider:      provider,
 		identity:      identity,
 		ledger:        ledger.New(provider, cfg.LedgerCfg, genesisAccounts, seed0),
-		pool:          txpool.New(),
+		flow:          txflow.New(provider, cfg.TxFlow),
 		store:         ledger.NewStore(uint64(id), shardCount),
 		net:           net,
 		sim:           sim,
@@ -243,19 +275,24 @@ func (n *Node) Ledger() *ledger.Ledger { return n.ledger }
 // Store exposes the node's §8.3 archive.
 func (n *Node) Store() *ledger.Store { return n.store }
 
-// Pool exposes the node's transaction pool.
-func (n *Node) Pool() *txpool.Pool { return n.pool }
+// TxFlow exposes the node's transaction ingestion pipeline. Unlike
+// the unsynchronized pool it replaced, the Flow is safe for concurrent
+// use from any goroutine — RPC servers and load generators may call
+// Submit/SubmitBatch/Stats directly while the scheduler runs rounds.
+func (n *Node) TxFlow() *txflow.Flow { return n.flow }
 
 // PublicKey returns the node's identity key.
 func (n *Node) PublicKey() crypto.PublicKey { return n.identity.PublicKey() }
 
-// SubmitTx adds a transaction locally and gossips it (Figure 1 step 1).
-func (n *Node) SubmitTx(tx *ledger.Transaction) {
-	if n.halted {
-		return
+// SubmitTx runs a transaction through the ingestion pipeline
+// (Figure 1 step 1). On admission it is staged for the next batched
+// gossip flush; a rejection comes back immediately with the typed
+// reason. Safe to call from any goroutine.
+func (n *Node) SubmitTx(tx *ledger.Transaction) error {
+	if n.Done() {
+		return errors.New("node: stopped")
 	}
-	n.pool.Add(tx)
-	n.net.Gossip(n.ID, &TxMsg{Tx: *tx})
+	return n.flow.Submit(tx)
 }
 
 // Halt simulates a crash: the node stops handling incoming messages,
@@ -268,6 +305,11 @@ func (n *Node) Halt() { n.halted = true }
 
 // Halted reports whether the node has been crashed via Halt.
 func (n *Node) Halted() bool { return n.halted }
+
+// Done reports whether the node's main process has wound down — either
+// crashed via Halt or completed its configured rounds. A done node no
+// longer flushes transaction batches or accepts submissions.
+func (n *Node) Done() bool { return n.halted || n.finished.Load() }
 
 func (n *Node) voteInbox(round, step uint64) *vtime.Mailbox {
 	k := [2]uint64{round, step}
@@ -305,11 +347,17 @@ func (n *Node) handleMessage(from int, m network.Message) network.Verdict {
 	cost := n.costs()
 	switch msg := m.(type) {
 	case *TxMsg:
-		if !msg.Tx.VerifySig(n.provider) {
-			return network.Verdict{Relay: false, CPU: cost.VerifySig}
+		// Singleton transaction gossip (legacy path; batched TxBatch is
+		// the steady state). Fresh admissions relay onward.
+		fresh, sigChecked := n.flow.IngestGossip(&msg.Tx)
+		var cpu time.Duration
+		if sigChecked {
+			cpu = cost.VerifySig
 		}
-		n.pool.Add(&msg.Tx)
-		return network.Verdict{Relay: true, CPU: cost.VerifySig}
+		return network.Verdict{Relay: fresh, CPU: cpu}
+
+	case *TxBatch:
+		return n.handleTxBatch(msg, cost)
 
 	case *VoteMsg:
 		return n.handleVote(msg, cost)
@@ -656,18 +704,60 @@ func (n *Node) env() *agreement.Env {
 }
 
 // Start spawns the node's main process, which runs rounds until
-// StopAfterRound is reached (or forever if zero).
+// StopAfterRound is reached (or forever if zero), plus the gossip
+// flush process that ships freshly admitted transactions to neighbors
+// in size-capped batches.
 func (n *Node) Start() {
+	n.flow.Start(n.cfg.TxFlowWorkers)
 	n.sim.Spawn(fmt.Sprintf("node-%d", n.ID), func(p *vtime.Proc) {
 		n.proc = p
 		n.run()
 	})
+	n.sim.Spawn(fmt.Sprintf("node-%d-txflush", n.ID), func(p *vtime.Proc) {
+		for !n.sim.Stopped() {
+			p.Sleep(n.cfg.TxFlushInterval)
+			if n.Done() {
+				return
+			}
+			n.flushTxBatches()
+		}
+	})
+}
+
+// flushTxBatches drains the pipeline's outbox into TxBatch gossip.
+func (n *Node) flushTxBatches() {
+	for _, batch := range n.flow.DrainOutbox(MaxTxBatchBytes) {
+		n.net.Gossip(n.ID, &TxBatch{Txns: batch})
+	}
+}
+
+// handleTxBatch admits every transaction of a gossiped batch through
+// the pipeline. Batches are never relayed verbatim (Relay is always
+// false): what was fresh here lands in our own outbox and reaches our
+// neighbors re-batched, so propagation terminates exactly when no
+// receiver sees anything new. With a worker pool running, the whole
+// batch is handed off so the scheduler never pays for signature
+// verification.
+func (n *Node) handleTxBatch(msg *TxBatch, cost crypto.CostModel) network.Verdict {
+	if n.cfg.TxFlowWorkers > 0 {
+		n.flow.EnqueueBatch(msg.Txns)
+		return network.Verdict{}
+	}
+	var cpu time.Duration
+	for i := range msg.Txns {
+		_, sigChecked := n.flow.IngestGossip(&msg.Txns[i])
+		if sigChecked {
+			cpu += cost.VerifySig
+		}
+	}
+	return network.Verdict{CPU: cpu}
 }
 
 // DebugRound, when set by tests, observes every failed round attempt.
 var DebugRound func(id int, round uint64, now time.Duration, err error)
 
 func (n *Node) run() {
+	defer n.finished.Store(true)
 	lastRecoveryCheck := time.Duration(0)
 	for !n.sim.Stopped() {
 		if n.halted {
@@ -786,7 +876,7 @@ func (n *Node) runRound() error {
 		return fmt.Errorf("commit: %w", err)
 	}
 	n.store.Put(block, cert)
-	n.pool.Committed(block, n.ledger.Balances())
+	n.flow.Committed(block, n.ledger.Balances())
 	stat.Empty = block.IsEmpty()
 	stat.Value = out.Value
 	stat.End = n.proc.Now()
@@ -813,7 +903,7 @@ func (n *Node) finishRoundPipelined(ctx *agreement.Context, target *ledger.Block
 		return fmt.Errorf("commit: %w", err)
 	}
 	n.store.Put(block, bres.Cert)
-	n.pool.Committed(block, n.ledger.Balances())
+	n.flow.Committed(block, n.ledger.Balances())
 	stat.Empty = block.IsEmpty()
 	stat.Value = bres.Value
 	stat.End = n.proc.Now()
@@ -876,7 +966,7 @@ func (n *Node) proposeIfSelected(ctx *agreement.Context) {
 func (n *Node) buildBlock(round uint64) *ledger.Block {
 	prevSeed := n.ledger.PrevSeed()
 	out, proof := n.identity.VRFProve(ledger.SeedAlpha(prevSeed, round))
-	txs := n.pool.Assemble(n.ledger.Balances(), n.cfg.Params.BlockSize)
+	txs := n.flow.Assemble(n.ledger.Balances(), n.cfg.Params.BlockSize)
 	b := &ledger.Block{
 		Round:     round,
 		PrevHash:  n.ledger.HeadHash(),

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"algorand/internal/crypto"
+	"algorand/internal/ledger"
 	nodepkg "algorand/internal/node"
 	"algorand/internal/wire"
 )
@@ -291,4 +292,74 @@ func TestRateAbuseShedsAndQuarantines(t *testing.T) {
 	if got := m.count(); got > cfg.RateLimit {
 		t.Fatalf("handler saw %d messages, rate budget is %d", got, cfg.RateLimit)
 	}
+}
+
+// txBatchFrame hand-crafts a TxBatch frame from the given sender with
+// an arbitrary message body (valid or hostile).
+func txBatchFrame(from int, body []byte) (byte, []byte) {
+	e := wire.NewEncoderSize(4 + len(body))
+	e.Int(from)
+	e.Fixed(body)
+	return nodepkg.TagTxBatch, e.Data()
+}
+
+// TestHostileTxBatch throws malformed transaction batches at the
+// transport: a count promising 2^30 transactions, a cumulative payload
+// above MaxTxBatchBytes, and a batch truncated mid-transaction. Each
+// must score the peer as malformed and drop the connection — never
+// crash or wedge the transport — and a legitimate peer must still get
+// through afterwards.
+func TestHostileTxBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock TCP test")
+	}
+	// Keep the misbehavior score below the quarantine threshold so all
+	// three cases are observed on live connections (quarantine itself
+	// is pinned by TestSpoofQuarantineAndParole).
+	cfg := testConfig()
+	cfg.QuarantineThreshold = 100
+	m := newMiniNet(t, 2, func(int) Config { return cfg }, 30*time.Second)[0]
+
+	// An honestly encoded oversized batch: enough max-signature
+	// transactions to cross MaxTxBatchBytes.
+	tx := ledger.Transaction{From: crypto.PublicKey{1}, Amount: 1, Sig: make([]byte, 120)}
+	n := nodepkg.MaxTxBatchBytes/tx.WireSize() + 2
+	over := &nodepkg.TxBatch{Txns: make([]ledger.Transaction, n)}
+	for i := range over.Txns {
+		over.Txns[i] = tx
+	}
+	_, overBody, err := nodepkg.EncodeMessage(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A valid single-tx batch to truncate.
+	_, okBody, err := nodepkg.EncodeMessage(&nodepkg.TxBatch{Txns: []ledger.Transaction{tx}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hostile := [][]byte{
+		{0x00, 0x00, 0x00, 0x40}, // count = 2^30, no payload
+		overBody,                 // cumulative size above the cap
+		okBody[:len(okBody)-9],   // truncated mid-transaction
+	}
+	var malformed uint64
+	for i, body := range hostile {
+		r := dialRaw(t, m.tr.Addr())
+		r.hello(1)
+		tag, payload := txBatchFrame(1, body)
+		r.frame(tag, payload)
+		if !closedWithin(r.c, 5*time.Second) {
+			t.Fatalf("hostile batch %d: connection not dropped", i)
+		}
+		ps := m.tr.Stats().Peers[0]
+		if ps.Malformed <= malformed {
+			t.Fatalf("hostile batch %d: malformed score did not increase (%d)", i, ps.Malformed)
+		}
+		malformed = ps.Malformed
+	}
+	if got := m.count(); got != 0 {
+		t.Fatalf("%d messages delivered from hostile batches", got)
+	}
+	assertAlive(t, m, 1, 300)
 }

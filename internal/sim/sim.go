@@ -15,6 +15,7 @@ import (
 	"algorand/internal/network"
 	"algorand/internal/node"
 	"algorand/internal/params"
+	"algorand/internal/txflow"
 	"algorand/internal/vtime"
 )
 
@@ -52,6 +53,10 @@ type Config struct {
 	// PipelineFinalStep enables the §10.2 final-step pipelining
 	// optimization on every node.
 	PipelineFinalStep bool
+	// TxFlow overrides every node's ingestion-pipeline configuration
+	// (zero value = txflow defaults). Chaos runs shrink the pool bounds
+	// here to force eviction churn.
+	TxFlow txflow.Config
 	// Horizon bounds virtual time (0 = generous default).
 	Horizon time.Duration
 }
@@ -149,6 +154,7 @@ func NewCluster(cfg Config) *Cluster {
 		RecoveryInterval:  cfg.RecoveryInterval,
 		ShardCount:        cfg.ShardCount,
 		PipelineFinalStep: cfg.PipelineFinalStep,
+		TxFlow:            cfg.TxFlow,
 	}
 	for i := 0; i < cfg.N; i++ {
 		n := node.New(i, c.Sim, c.Net, c.Provider, c.ids[i], c.nodeCfg, c.Genesis, c.Seed0)
@@ -407,7 +413,21 @@ func (c *Cluster) Workload(txPerSecond float64, seed int64) {
 			}
 			nonces[from]++
 			tx.Sign(c.ids[from])
-			c.Nodes[from].SubmitTx(tx)
+			if err := c.Nodes[from].SubmitTx(tx); err != nil {
+				// Once every node has halted nothing can commit this
+				// traffic; stop so the simulation can drain instead of
+				// running to the horizon.
+				done := true
+				for _, n := range c.Nodes {
+					if !n.Done() {
+						done = false
+						break
+					}
+				}
+				if done {
+					return
+				}
+			}
 		}
 	})
 }

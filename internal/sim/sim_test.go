@@ -79,8 +79,11 @@ func TestTransactionsConfirm(t *testing.T) {
 		Nonce:  0,
 	}
 	tx.Sign(c.Identity(1))
-	c.Nodes[1].Pool().Add(tx)
-	c.Sim.After(0, func() { c.Nodes[1].SubmitTx(tx) })
+	c.Sim.After(0, func() {
+		if err := c.Nodes[1].SubmitTx(tx); err != nil {
+			t.Errorf("submit: %v", err)
+		}
+	})
 
 	c.Run()
 	if err := c.AgreementCheck(); err != nil {

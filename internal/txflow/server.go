@@ -1,0 +1,242 @@
+package txflow
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"algorand/internal/ledger"
+)
+
+// Server is the TCP/JSON submission front door exposed by
+// cmd/algorand-node -submit-addr. Clients connect, write
+// newline-delimited JSON — a single transaction object or an array for
+// a batch — and read one JSON reply per request:
+//
+//	{"from":"<64 hex>","to":"<64 hex>","amount":5,"fee":1,"nonce":0,"sig":"<128 hex>"}
+//	→ {"ok":true}
+//	[{...},{...}]
+//	→ {"ok":false,"results":[{"ok":true},{"ok":false,"error":"txflow: stale nonce"}]}
+//
+// Each connection is served by its own goroutine, so independent
+// clients verify signatures in parallel; rejections are immediate
+// (admission never blocks on a full pool).
+type Server struct {
+	ln   net.Listener
+	flow *Flow
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// TxJSON is the submission wire format: fixed-size fields in hex,
+// integers in decimal.
+type TxJSON struct {
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Amount uint64 `json:"amount"`
+	Fee    uint64 `json:"fee,omitempty"`
+	Nonce  uint64 `json:"nonce"`
+	Sig    string `json:"sig"`
+}
+
+// Result is the per-transaction reply.
+type Result struct {
+	Ok    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+type batchReply struct {
+	Ok      bool     `json:"ok"`
+	Error   string   `json:"error,omitempty"`
+	Results []Result `json:"results,omitempty"`
+}
+
+// Transaction converts the JSON form to the ledger type.
+func (j *TxJSON) Transaction() (*ledger.Transaction, error) {
+	tx := &ledger.Transaction{Amount: j.Amount, Fee: j.Fee, Nonce: j.Nonce}
+	if err := hexKey(j.From, tx.From[:]); err != nil {
+		return nil, fmt.Errorf("from: %w", err)
+	}
+	if err := hexKey(j.To, tx.To[:]); err != nil {
+		return nil, fmt.Errorf("to: %w", err)
+	}
+	sig, err := hex.DecodeString(j.Sig)
+	if err != nil || len(sig) == 0 || len(sig) > 128 {
+		return nil, errors.New("sig: bad hex or length")
+	}
+	tx.Sig = sig
+	return tx, nil
+}
+
+// FromTransaction renders a signed transaction for submission.
+func FromTransaction(tx *ledger.Transaction) TxJSON {
+	return TxJSON{
+		From:   hex.EncodeToString(tx.From[:]),
+		To:     hex.EncodeToString(tx.To[:]),
+		Amount: tx.Amount,
+		Fee:    tx.Fee,
+		Nonce:  tx.Nonce,
+		Sig:    hex.EncodeToString(tx.Sig),
+	}
+}
+
+func hexKey(s string, dst []byte) error {
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(dst) {
+		return errors.New("bad hex key")
+	}
+	copy(dst, b)
+	return nil
+}
+
+// ListenAndServe opens the submission endpoint feeding flow.
+func ListenAndServe(addr string, flow *Flow) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, flow: flow, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(c)
+	}
+}
+
+func (s *Server) serve(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	dec := json.NewDecoder(c)
+	enc := json.NewEncoder(c)
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			if err != io.EOF {
+				enc.Encode(batchReply{Ok: false, Error: "bad request: " + err.Error()})
+			}
+			return
+		}
+		if err := enc.Encode(s.handle(raw)); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(raw json.RawMessage) batchReply {
+	if len(raw) > 0 && raw[0] == '[' {
+		var batch []TxJSON
+		if err := json.Unmarshal(raw, &batch); err != nil {
+			return batchReply{Ok: false, Error: "bad batch: " + err.Error()}
+		}
+		txs := make([]*ledger.Transaction, len(batch))
+		results := make([]Result, len(batch))
+		for i := range batch {
+			tx, err := batch[i].Transaction()
+			if err != nil {
+				results[i] = Result{Error: err.Error()}
+				continue
+			}
+			txs[i] = tx
+		}
+		ok := true
+		errs := s.flow.SubmitBatch(txs)
+		for i, err := range errs {
+			if txs[i] == nil {
+				ok = false
+				continue // decode error already recorded
+			}
+			if err != nil {
+				ok = false
+				results[i] = Result{Error: err.Error()}
+			} else {
+				results[i] = Result{Ok: true}
+			}
+		}
+		return batchReply{Ok: ok, Results: results}
+	}
+	var one TxJSON
+	if err := json.Unmarshal(raw, &one); err != nil {
+		return batchReply{Ok: false, Error: "bad tx: " + err.Error()}
+	}
+	tx, err := one.Transaction()
+	if err != nil {
+		return batchReply{Ok: false, Error: err.Error()}
+	}
+	if err := s.flow.Submit(tx); err != nil {
+		return batchReply{Ok: false, Error: err.Error()}
+	}
+	return batchReply{Ok: true}
+}
+
+// SubmitJSON is a tiny client for the endpoint, used by the payments
+// load driver and tests: it dials addr, submits txs (singly or as one
+// batch), and returns the per-transaction results.
+func SubmitJSON(addr string, txs []*ledger.Transaction) ([]Result, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	enc := json.NewEncoder(c)
+	dec := json.NewDecoder(c)
+	batch := make([]TxJSON, len(txs))
+	for i, tx := range txs {
+		batch[i] = FromTransaction(tx)
+	}
+	if err := enc.Encode(batch); err != nil {
+		return nil, err
+	}
+	var rep batchReply
+	if err := dec.Decode(&rep); err != nil {
+		return nil, err
+	}
+	if rep.Results == nil && rep.Error != "" {
+		return nil, errors.New(rep.Error)
+	}
+	return rep.Results, nil
+}

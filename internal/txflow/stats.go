@@ -1,0 +1,154 @@
+package txflow
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"algorand/internal/crypto"
+)
+
+// counters is the pipeline's atomic instrumentation; Stats() snapshots
+// it.
+type counters struct {
+	admitted    atomic.Uint64
+	invalid     atomic.Uint64
+	badSig      atomic.Uint64
+	duplicate   atomic.Uint64
+	stale       atomic.Uint64
+	senderLimit atomic.Uint64
+	rateLimited atomic.Uint64
+	poolFull    atomic.Uint64
+	queueFull   atomic.Uint64
+	outboxDrop  atomic.Uint64
+	evicted     atomic.Uint64
+	replaced    atomic.Uint64
+	verified    atomic.Uint64
+	cacheHits   atomic.Uint64
+}
+
+// count attributes a rejection to its counter.
+func (c *counters) count(err error) {
+	switch err {
+	case ErrDuplicate:
+		c.duplicate.Add(1)
+	case ErrStaleNonce:
+		c.stale.Add(1)
+	case ErrSenderLimit:
+		c.senderLimit.Add(1)
+	case ErrPoolFull:
+		c.poolFull.Add(1)
+	}
+}
+
+// Stats is a point-in-time snapshot of the pipeline, following the
+// same surfacing pattern as realnet's transport stats.
+type Stats struct {
+	// Pending occupancy.
+	Pending      int
+	PendingBytes int
+
+	// Admission outcomes.
+	Admitted    uint64
+	Invalid     uint64
+	BadSig      uint64
+	Duplicate   uint64
+	StaleNonce  uint64
+	SenderLimit uint64
+	RateLimited uint64
+	PoolFull    uint64
+	QueueFull   uint64
+
+	// Pool churn.
+	Evicted  uint64
+	Replaced uint64
+
+	// Verification economics: Verified signatures actually checked,
+	// CacheHits re-deliveries served from the TTL'd digest cache.
+	Verified  uint64
+	CacheHits uint64
+}
+
+// Rejected sums every rejection reason.
+func (s Stats) Rejected() uint64 {
+	return s.Invalid + s.BadSig + s.Duplicate + s.StaleNonce +
+		s.SenderLimit + s.RateLimited + s.PoolFull
+}
+
+// String renders a one-line operator summary.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"txflow: pending %d (%d B) | admitted %d rejected %d (dup %d stale %d badsig %d rate %d full %d) | evicted %d replaced %d | verified %d cache-hits %d",
+		s.Pending, s.PendingBytes, s.Admitted, s.Rejected(),
+		s.Duplicate, s.StaleNonce, s.BadSig, s.RateLimited, s.PoolFull,
+		s.Evicted, s.Replaced, s.Verified, s.CacheHits)
+}
+
+// Stats snapshots the pipeline counters. Safe to call from any
+// goroutine.
+func (f *Flow) Stats() Stats {
+	return Stats{
+		Pending:      f.Len(),
+		PendingBytes: f.PendingBytes(),
+		Admitted:     f.c.admitted.Load(),
+		Invalid:      f.c.invalid.Load(),
+		BadSig:       f.c.badSig.Load(),
+		Duplicate:    f.c.duplicate.Load(),
+		StaleNonce:   f.c.stale.Load(),
+		SenderLimit:  f.c.senderLimit.Load(),
+		RateLimited:  f.c.rateLimited.Load(),
+		PoolFull:     f.c.poolFull.Load(),
+		QueueFull:    f.c.queueFull.Load(),
+		Evicted:      f.c.evicted.Load(),
+		Replaced:     f.c.replaced.Load(),
+		Verified:     f.c.verified.Load(),
+		CacheHits:    f.c.cacheHits.Load(),
+	}
+}
+
+// digestCache remembers recently verified transaction digests for a
+// TTL, so every relayed copy of a transaction costs at most one
+// signature verification. Two generations rotate at TTL granularity
+// (the same scheme as the gossip seen-cache): entries live between TTL
+// and 2×TTL, and rotation is O(1).
+type digestCache struct {
+	mu        sync.Mutex
+	ttl       time.Duration
+	cur, prev map[crypto.Digest]struct{}
+	rotated   time.Duration
+}
+
+func newDigestCache(ttl time.Duration) *digestCache {
+	return &digestCache{
+		ttl: ttl,
+		cur: make(map[crypto.Digest]struct{}),
+	}
+}
+
+func (c *digestCache) rotateLocked(now time.Duration) {
+	if now-c.rotated < c.ttl {
+		return
+	}
+	c.prev = c.cur
+	c.cur = make(map[crypto.Digest]struct{})
+	c.rotated = now
+}
+
+func (c *digestCache) has(id crypto.Digest, now time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rotateLocked(now)
+	if _, ok := c.cur[id]; ok {
+		return true
+	}
+	_, ok := c.prev[id]
+	return ok
+}
+
+func (c *digestCache) add(id crypto.Digest, now time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rotateLocked(now)
+	c.cur[id] = struct{}{}
+}

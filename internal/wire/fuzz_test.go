@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"testing"
 
+	"algorand/internal/ledger"
 	"algorand/internal/node"
 	"algorand/internal/wire"
 )
@@ -28,6 +29,13 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add(byte(0), []byte{})
 	f.Add(byte(255), bytes.Repeat([]byte{0xff}, 64))
+	// Hostile TxBatch shapes: a count promising 2^30 transactions, and
+	// a valid batch truncated mid-transaction.
+	f.Add(node.TagTxBatch, []byte{0x00, 0x00, 0x00, 0x40})
+	if tag, payload, err := node.EncodeMessage(
+		&node.TxBatch{Txns: []ledger.Transaction{sampleTx()}}); err == nil {
+		f.Add(tag, payload[:len(payload)-7])
+	}
 
 	f.Fuzz(func(t *testing.T, tag byte, data []byte) {
 		m, err := node.DecodeMessage(tag, data)

@@ -31,6 +31,7 @@ func sampleTx() ledger.Transaction {
 		From:   crypto.PublicKey{1, 2, 3},
 		To:     crypto.PublicKey{4, 5, 6},
 		Amount: 1000,
+		Fee:    3,
 		Nonce:  7,
 		Sig:    bytes.Repeat([]byte{0x51}, 64),
 	}
@@ -149,6 +150,8 @@ func gossipMessages() []network.Message {
 		&node.BlockRequest{Hash: crypto.HashBytes("h"), Requester: 2, Nonce: 99},
 		&node.BlockGossip{M: sampleBlockMsg(), Recipient: 4},
 		&node.TxMsg{Tx: tx},
+		&node.TxBatch{Txns: []ledger.Transaction{sampleTx(), sampleTx(), sampleTx()}},
+		&node.TxBatch{},
 		&node.BlockFill{Block: sampleBlock(), Recipient: 5},
 		&node.ChainRequest{FromRound: 10, MaxBlocks: 32, Requester: 1, Nonce: 98},
 		&node.ChainReply{
@@ -214,7 +217,7 @@ func TestSigningBytesArePrefix(t *testing.T) {
 }
 
 // TestWireSizeConstants pins the package-level size constants (used by
-// the simulator's bandwidth model and the txpool's block filling) to
+// the simulator's bandwidth model and txflow's block filling) to
 // the canonical encodings of standard-size messages.
 func TestWireSizeConstants(t *testing.T) {
 	tx := sampleTx()
@@ -232,6 +235,43 @@ func TestWireSizeConstants(t *testing.T) {
 	cert := sampleCert()
 	if got := len(wire.Encode(cert)); got != ledger.CertWireSize(len(cert.Votes)) {
 		t.Fatalf("CertWireSize %d, canonical encoding is %d", ledger.CertWireSize(len(cert.Votes)), got)
+	}
+	// A TxBatch is a u32 count plus the canonical transactions: its
+	// WireSize must track TxWireSize exactly (drift check).
+	batch := &node.TxBatch{Txns: []ledger.Transaction{sampleTx(), sampleTx()}}
+	if got, want := len(wire.Encode(batch)), 4+2*ledger.TxWireSize; got != want || got != batch.WireSize() {
+		t.Fatalf("TxBatch encoding %d bytes, WireSize %d, constant math %d", got, batch.WireSize(), want)
+	}
+}
+
+// TestTxBatchDecodeRejectsHostileInputs pins the batch decoder's two
+// caps: an element count beyond the protocol bound and a cumulative
+// payload above MaxTxBatchBytes both fail cleanly (no panic, no
+// allocation proportional to the claimed count).
+func TestTxBatchDecodeRejectsHostileInputs(t *testing.T) {
+	// Hostile count with no payload behind it.
+	e := wire.NewEncoderSize(4)
+	e.Int(1 << 30)
+	if err := wire.Decode(e.Data(), new(node.TxBatch)); err == nil {
+		t.Fatal("hostile count accepted")
+	}
+	// A too-large batch: enough oversized-signature transactions to
+	// cross MaxTxBatchBytes while keeping the element count legal.
+	tx := sampleTx()
+	tx.Sig = bytes.Repeat([]byte{9}, 120)
+	n := node.MaxTxBatchBytes/tx.WireSize() + 2
+	big := &node.TxBatch{Txns: make([]ledger.Transaction, n)}
+	for i := range big.Txns {
+		big.Txns[i] = tx
+	}
+	if err := wire.Decode(wire.Encode(big), new(node.TxBatch)); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	// Truncated mid-transaction.
+	ok := &node.TxBatch{Txns: []ledger.Transaction{sampleTx(), sampleTx()}}
+	data := wire.Encode(ok)
+	if err := wire.Decode(data[:len(data)-10], new(node.TxBatch)); err == nil {
+		t.Fatal("truncated batch accepted")
 	}
 }
 
