@@ -22,6 +22,7 @@ import (
 
 	"algorand/internal/crypto"
 	"algorand/internal/ledger"
+	"algorand/internal/ledger/diskstore"
 	"algorand/internal/node"
 	"algorand/internal/params"
 	"algorand/internal/realnet"
@@ -42,6 +43,7 @@ func main() {
 		statsSec = flag.Int("stats-interval", 0, "also print transport statistics every N seconds (0 = off)")
 		submit   = flag.String("submit-addr", "", "listen address for the TCP/JSON transaction submission endpoint (empty = off)")
 		workers  = flag.Int("tx-workers", 4, "signature-verification workers for gossip batches (0 = verify inline)")
+		dataDir  = flag.String("data-dir", "", "directory for the durable WAL archive; restarts recover the chain from it (empty = in-memory only)")
 	)
 	flag.Parse()
 
@@ -97,15 +99,47 @@ func main() {
 	// clock must be readable off the scheduler: use the wall clock.
 	epoch := time.Now()
 	cfg.TxFlow.Now = func() time.Duration { return time.Since(epoch) }
+
+	// Durable archive: every commit journals through the WAL before the
+	// node proceeds, and a restart recovers the chain from disk (torn
+	// tails truncated, checksums and certificates re-verified) before
+	// rejoining via delta catch-up.
+	var archive *diskstore.Store
+	if *dataDir != "" {
+		archive, err = diskstore.Open(*dataDir, diskstore.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opening data dir: %v\n", err)
+			os.Exit(1)
+		}
+		defer archive.Close()
+		cfg.Archive = archive
+	}
+
 	nd := node.New(*id, sim, transport, provider, self, cfg, genesis, seed0)
 	nd.StopAfterRound = *rounds
+
+	var restored uint64
+	if archive != nil {
+		restored, err = nd.RestoreFromArchive(archive.Recovered())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "archive restore: %v\n", err)
+			os.Exit(1)
+		}
+		st := archive.Stats()
+		fmt.Printf("node %d recovered %d rounds from %s (%d records, %d bytes truncated, %d dropped)\n",
+			*id, restored, *dataDir, st.RecoveredRecords, st.TruncatedBytes, st.DroppedRecords)
+	}
 
 	pk := self.PublicKey()
 	fmt.Printf("node %d listening on %s (pk %s), running %d rounds...\n",
 		*id, transport.Addr(), pk, *rounds)
 
 	transport.Start()
-	nd.Start()
+	if restored > 0 {
+		nd.StartAfterSync(time.Minute)
+	} else {
+		nd.Start()
+	}
 	defer nd.TxFlow().Close()
 	if *submit != "" {
 		srv, err := txflow.ListenAndServe(*submit, nd.TxFlow())

@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -47,6 +48,20 @@ type Result struct {
 	// CheckParams are the weakest protocol parameters any node ran with
 	// during the run — certificates are re-verified against these.
 	CheckParams params.Params
+	// DataDir is the scratch directory holding every node's on-disk
+	// archive for Durable scenarios ("" otherwise). Call Cleanup when
+	// done with the Result to release it.
+	DataDir string
+}
+
+// Cleanup closes any open archives and removes the Durable scratch
+// directory. Safe to call on non-durable results and more than once.
+func (r *Result) Cleanup() {
+	if r.DataDir == "" {
+		return
+	}
+	r.Cluster.CloseArchives()
+	os.RemoveAll(r.DataDir)
 }
 
 // Run compiles the scenario onto a fresh cluster and runs it to
@@ -81,6 +96,16 @@ func RunWith(s Scenario, preStart func(c *sim.Cluster)) *Result {
 	}
 	healAt := s.LastFaultClear()
 	cfg.Horizon = healAt + livenessBudget
+	if s.Durable {
+		// Every node journals commits to a WAL archive under a scratch
+		// dir; crashes keep the disk, so restarts recover through the
+		// full diskstore scan rather than the crashed process's memory.
+		dir, err := os.MkdirTemp("", "algorand-chaos-")
+		if err != nil {
+			panic(fmt.Sprintf("chaos: durable scratch dir: %v", err))
+		}
+		cfg.DataDir = dir
+	}
 
 	c := sim.NewCluster(cfg)
 	c.Net.SeedFaults(s.Seed)
@@ -93,6 +118,7 @@ func RunWith(s Scenario, preStart func(c *sim.Cluster)) *Result {
 		Down:        make(map[int]bool),
 		Byzantine:   make(map[int]bool),
 		CheckParams: cfg.Params,
+		DataDir:     cfg.DataDir,
 	}
 
 	// --- Compile faults into network hooks and scheduled events.
@@ -267,6 +293,7 @@ func (r *Result) Check() []Violation {
 	for _, err := range r.RestartErrs {
 		vs = append(vs, Violation{Kind: "restart-failed", Node: -1, Detail: err.Error()})
 	}
+	vs = append(vs, CheckDurability(r)...)
 	return vs
 }
 

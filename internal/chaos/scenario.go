@@ -81,6 +81,15 @@ type Scenario struct {
 	// in a block.
 	TxLoad float64
 
+	// Durable gives every node an on-disk WAL archive in a scratch data
+	// directory. Crashes then lose the process but keep the disk:
+	// restarts recover through the full diskstore scan (torn-tail
+	// truncation, checksums, certificate re-verification) instead of the
+	// crashed process's memory image, and the durability invariant
+	// re-opens every data dir cold after the run and demands the disk
+	// chain equal the network's, byte for byte.
+	Durable bool
+
 	// TStepOverride, when > 0, weakens every node's ordinary-step vote
 	// threshold until TStepRestoreAt — the §8.2 fork generator: during a
 	// partition both halves can then commit *tentative* blocks, and the
@@ -148,6 +157,9 @@ func (s *Scenario) String() string {
 	}
 	if s.TxLoad > 0 {
 		fmt.Fprintf(&b, " txload=%.0f/s", s.TxLoad)
+	}
+	if s.Durable {
+		b.WriteString(" durable")
 	}
 	return b.String()
 }
@@ -227,6 +239,10 @@ func RandomScenario(seed int64) Scenario {
 	// Drawn last so fault schedules for pre-existing seeds are unchanged.
 	if rng.Float64() < 0.5 {
 		s.TxLoad = float64(5 + rng.Intn(26)) // 5..30 tx/s
+	}
+	// Drawn after TxLoad, same reason: earlier seeds keep their schedules.
+	if rng.Float64() < 0.4 {
+		s.Durable = true
 	}
 	return s
 }

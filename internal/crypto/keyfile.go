@@ -1,6 +1,7 @@
 package crypto
 
 import (
+	"crypto/rand"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -17,12 +18,31 @@ const keyFileTag = "algorand-seed:"
 
 // SaveSeed writes a seed to path with 0600 permissions, refusing to
 // overwrite an existing file (losing a key means losing the money).
+// O_EXCL makes the claim on the path atomic — two concurrent saves can
+// never both succeed, and there is no stat-then-write window for one to
+// silently clobber the other — and the file is fsynced before close so
+// a crash just after key generation cannot leave a truncated key on
+// disk with the caller believing it saved.
 func SaveSeed(path string, seed Seed) error {
-	if _, err := os.Stat(path); err == nil {
-		return fmt.Errorf("crypto: key file %s already exists", path)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		if os.IsExist(err) {
+			return fmt.Errorf("crypto: key file %s already exists", path)
+		}
+		return err
 	}
 	data := keyFileTag + hex.EncodeToString(seed[:]) + "\n"
-	return os.WriteFile(path, []byte(data), 0o600)
+	if _, err := f.Write([]byte(data)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
 }
 
 // LoadSeed reads a seed written by SaveSeed.
@@ -48,14 +68,12 @@ func LoadSeed(path string) (Seed, error) {
 }
 
 // RandomSeed returns a fresh seed from the OS entropy source.
+// crypto/rand.Read fills the whole seed or errors — a bare Read on
+// /dev/urandom may legally return fewer bytes than asked, which would
+// leave the seed's tail zeroed and silently shrink the keyspace.
 func RandomSeed() (Seed, error) {
 	var seed Seed
-	f, err := os.Open("/dev/urandom")
-	if err != nil {
-		return seed, err
-	}
-	defer f.Close()
-	if _, err := f.Read(seed[:]); err != nil {
+	if _, err := rand.Read(seed[:]); err != nil {
 		return seed, err
 	}
 	return seed, nil

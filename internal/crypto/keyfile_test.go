@@ -3,6 +3,7 @@ package crypto
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -70,5 +71,69 @@ func TestRandomSeed(t *testing.T) {
 	}
 	if a == b {
 		t.Fatal("two random seeds identical")
+	}
+}
+
+// TestRandomSeedFullEntropy guards the short-read regression: a bare
+// Read on the entropy device may return fewer bytes than asked, leaving
+// the seed's tail zeroed. Across a batch of seeds, every byte position
+// must take a nonzero value at least once — a zeroed tail would fail
+// the trailing positions with overwhelming probability.
+func TestRandomSeedFullEntropy(t *testing.T) {
+	var nonzero [32]bool
+	for i := 0; i < 64; i++ {
+		s, err := RandomSeed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, b := range s {
+			if b != 0 {
+				nonzero[j] = true
+			}
+		}
+	}
+	for j, ok := range nonzero {
+		if !ok {
+			t.Fatalf("seed byte %d was zero in all 64 draws; entropy not filling the seed", j)
+		}
+	}
+}
+
+// TestSaveSeedConcurrent pins the O_EXCL claim: many goroutines racing
+// to save different seeds at one path yield exactly one winner, and the
+// file afterwards holds the winner's seed intact — no interleaved or
+// truncated key file.
+func TestSaveSeedConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "user.key")
+	const racers = 16
+	errs := make([]error, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = SaveSeed(path, SeedFromUint64(uint64(i)))
+		}()
+	}
+	wg.Wait()
+
+	winners := 0
+	winner := -1
+	for i, err := range errs {
+		if err == nil {
+			winners++
+			winner = i
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d of %d concurrent saves succeeded, want exactly 1", winners, racers)
+	}
+	got, err := LoadSeed(path)
+	if err != nil {
+		t.Fatalf("key file unreadable after the race: %v", err)
+	}
+	if got != SeedFromUint64(uint64(winner)) {
+		t.Fatal("key file does not hold the winning save's seed")
 	}
 }

@@ -1,0 +1,254 @@
+package diskfault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openForWrite(t *testing.T, fs FS, path string) File {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func readBack(t *testing.T, fs FS, path string) []byte {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestOSPassthrough(t *testing.T) {
+	fs := OS()
+	dir := filepath.Join(t.TempDir(), "a", "b")
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "f.dat")
+	f := openForWrite(t, fs, path)
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil || len(names) != 1 || names[0] != "f.dat" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if got := readBack(t, fs, path); string(got) != "hello" {
+		t.Fatalf("read back %q", got)
+	}
+	if err := fs.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornWrite pins the core semantics: the write that crosses the
+// scripted offset delivers exactly the bytes up to it, then fails, and
+// later writes through the same injector proceed normally.
+func TestTornWrite(t *testing.T) {
+	in := New(nil)
+	in.Script("wal", Script{{After: 6, Act: TornWrite}})
+	path := filepath.Join(t.TempDir(), "wal")
+
+	f := openForWrite(t, in, path)
+	if n, err := f.Write([]byte("aaaa")); n != 4 || err != nil {
+		t.Fatalf("clean write: n=%d err=%v", n, err)
+	}
+	// This write spans offsets [4, 10): tears at 6 → 2 bytes land.
+	n, err := f.Write([]byte("bbbbbb"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("torn write delivered %d bytes, want 2", n)
+	}
+	// The fault is consumed: subsequent writes succeed.
+	if _, err := f.Write([]byte("cc")); err != nil {
+		t.Fatalf("post-fault write: %v", err)
+	}
+	f.Close()
+
+	if got := readBack(t, in, path); !bytes.Equal(got, []byte("aaaabbcc")) {
+		t.Fatalf("on-disk bytes %q, want %q", got, "aaaabbcc")
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("fired %d events, want 1", in.Fired())
+	}
+}
+
+// TestFailWriteAndSync: FailWrite delivers nothing; FailSync fails the
+// fsync only once the armed offset has been written, and leaves the
+// data itself on disk.
+func TestFailWriteAndSync(t *testing.T) {
+	in := New(nil)
+	in.Script("wal", Script{
+		{After: 4, Act: FailWrite},
+		{After: 8, Act: FailSync},
+	})
+	path := filepath.Join(t.TempDir(), "wal")
+	f := openForWrite(t, in, path)
+
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if n, err := f.Write([]byte("xx")); !errors.Is(err, ErrInjected) || n != 0 {
+		t.Fatalf("fail-write: n=%d err=%v", n, err)
+	}
+	// Sync before the fail-sync offset is armed: passes.
+	if err := f.Sync(); err != nil {
+		t.Fatalf("early sync: %v", err)
+	}
+	if _, err := f.Write([]byte("bbbb")); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fail-sync err = %v", err)
+	}
+	// Consumed: the retry sync succeeds.
+	if err := f.Sync(); err != nil {
+		t.Fatalf("retry sync: %v", err)
+	}
+	f.Close()
+	if got := readBack(t, in, path); !bytes.Equal(got, []byte("aaaabbbb")) {
+		t.Fatalf("on-disk bytes %q", got)
+	}
+}
+
+// TestCorruptRead flips exactly the scripted byte on read-back, across
+// read chunk boundaries, without touching the file itself.
+func TestCorruptRead(t *testing.T) {
+	in := New(nil)
+	in.Script("seg", Script{{After: 5, Act: CorruptRead}})
+	path := filepath.Join(t.TempDir(), "seg")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := in.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	buf := make([]byte, 3) // forces the corrupt offset mid-chunk
+	for {
+		n, err := f.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	want := []byte("0123456789")
+	want[5] ^= 0xFF
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %q, want %q", got, want)
+	}
+	// The underlying file is untouched (bit rot is injected on the read
+	// path, as a bad sector would surface).
+	if disk, _ := os.ReadFile(path); !bytes.Equal(disk, []byte("0123456789")) {
+		t.Fatalf("file mutated on disk: %q", disk)
+	}
+	// A fresh handle re-reads cleanly: the event is consumed.
+	clean := readBack(t, in, path)
+	if !bytes.Equal(clean, []byte("0123456789")) {
+		t.Fatalf("second read corrupted: %q", clean)
+	}
+}
+
+// TestWriteOffsetsSpanReopens: write-side offsets are cumulative per
+// name, so a script can target a record written after a rotation-style
+// close-and-reopen.
+func TestWriteOffsetsSpanReopens(t *testing.T) {
+	in := New(nil)
+	in.Script("wal", Script{{After: 6, Act: TornWrite}})
+	path := filepath.Join(t.TempDir(), "wal")
+
+	f := openForWrite(t, in, path)
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	f2, err := in.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := f2.Write([]byte("bbbb")) // cumulative [4, 8): tears at 6
+	f2.Close()
+	if !errors.Is(werr, ErrInjected) || n != 2 {
+		t.Fatalf("reopened write: n=%d err=%v", n, werr)
+	}
+	if got := readBack(t, in, path); !bytes.Equal(got, []byte("aaaabb")) {
+		t.Fatalf("on-disk bytes %q", got)
+	}
+}
+
+// TestPathScopedScript: a key with a directory component targets one
+// file among same-named siblings (one node's segment in a cluster
+// data dir).
+func TestPathScopedScript(t *testing.T) {
+	in := New(nil)
+	in.Script("node-1/wal", Script{{After: 0, Act: FailWrite}})
+	dir := t.TempDir()
+	for _, sub := range []string{"node-0", "node-1"} {
+		if err := in.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ok := openForWrite(t, in, filepath.Join(dir, "node-0", "wal"))
+	if _, err := ok.Write([]byte("fine")); err != nil {
+		t.Fatalf("node-0 write: %v", err)
+	}
+	ok.Close()
+
+	bad := openForWrite(t, in, filepath.Join(dir, "node-1", "wal"))
+	if _, err := bad.Write([]byte("doomed")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("node-1 write err = %v", err)
+	}
+	bad.Close()
+}
+
+// TestUnscriptedFilesUntouched: only the named file is faulted.
+func TestUnscriptedFilesUntouched(t *testing.T) {
+	in := New(nil)
+	in.Script("victim", Script{{After: 0, Act: FailWrite}})
+	dir := t.TempDir()
+
+	ok := openForWrite(t, in, filepath.Join(dir, "bystander"))
+	if _, err := ok.Write([]byte("fine")); err != nil {
+		t.Fatalf("bystander write: %v", err)
+	}
+	ok.Close()
+
+	bad := openForWrite(t, in, filepath.Join(dir, "victim"))
+	if _, err := bad.Write([]byte("doomed")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("victim write err = %v", err)
+	}
+	bad.Close()
+}

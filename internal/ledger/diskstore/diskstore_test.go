@@ -1,0 +1,609 @@
+package diskstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"algorand/internal/crypto"
+	"algorand/internal/diskfault"
+	"algorand/internal/ledger"
+	"algorand/internal/wire"
+)
+
+// makeChain builds n linked blocks (rounds 1..n) with deterministic
+// content and a one-vote certificate per block; certificates are not
+// cryptographically valid — diskstore stores, the node verifies.
+func makeChain(n int) ([]*ledger.Block, []*ledger.Certificate) {
+	blocks := make([]*ledger.Block, n)
+	certs := make([]*ledger.Certificate, n)
+	prev := crypto.HashBytes("test.genesis", nil)
+	for i := 0; i < n; i++ {
+		round := uint64(i + 1)
+		b := &ledger.Block{
+			Round:          round,
+			PrevHash:       prev,
+			Seed:           crypto.HashUint64("test.seed", round, nil),
+			PayloadPadding: 64 * i,
+		}
+		c := &ledger.Certificate{
+			Round: round,
+			Step:  3,
+			Value: b.Hash(),
+			Votes: []ledger.Vote{{Round: round, Step: 3, Value: b.Hash()}},
+		}
+		blocks[i], certs[i] = b, c
+		prev = b.Hash()
+	}
+	return blocks, certs
+}
+
+// snapshot returns the canonical encoding of a store's archive image
+// for byte-for-byte comparison.
+func snapshot(s *Store) []byte { return wire.Encode(s.Recovered()) }
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	blocks, certs := makeChain(8)
+
+	s := mustOpen(t, dir, Options{})
+	for i, b := range blocks {
+		if err := s.Append(b, certs[i]); err != nil {
+			t.Fatalf("append round %d: %v", b.Round, err)
+		}
+	}
+	want := snapshot(s)
+	if last, ok := s.LastRound(); !ok || last != 8 {
+		t.Fatalf("LastRound = %d, %v", last, ok)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{})
+	defer r.Close()
+	st := r.Stats()
+	if st.RecoveredRounds != 8 {
+		t.Fatalf("recovered %d rounds, want 8", st.RecoveredRounds)
+	}
+	if st.TruncatedBytes != 0 || st.DroppedRecords != 0 {
+		t.Fatalf("clean recovery reported damage: %+v", st)
+	}
+	if got := snapshot(r); !bytes.Equal(got, want) {
+		t.Fatal("recovered archive is not byte-identical to the original")
+	}
+	for i, b := range blocks {
+		rb, ok := r.Recovered().Block(b.Round)
+		if !ok || rb.Hash() != b.Hash() {
+			t.Fatalf("round %d block missing or wrong", b.Round)
+		}
+		if rc, ok := r.Recovered().Cert(b.Round); !ok || rc.Value != certs[i].Value {
+			t.Fatalf("round %d certificate missing or wrong", b.Round)
+		}
+	}
+}
+
+// TestReplayIsNoOp: re-appending an already-durable chain (the restart
+// path: RestoreFromArchive replays the recovered store through the
+// commit path) must journal nothing.
+func TestReplayIsNoOp(t *testing.T) {
+	dir := t.TempDir()
+	blocks, certs := makeChain(5)
+
+	s := mustOpen(t, dir, Options{})
+	for i, b := range blocks {
+		if err := s.Append(b, certs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	r := mustOpen(t, dir, Options{})
+	defer r.Close()
+	for i, b := range blocks {
+		if err := r.Append(b, certs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := r.Stats(); st.Appends != 0 {
+		t.Fatalf("replay journaled %d records, want 0", st.Appends)
+	}
+}
+
+// TestCertUpgrade: a tentative→final certificate upgrade journals a
+// compact cert record, not a second copy of the block, and survives
+// recovery.
+func TestCertUpgrade(t *testing.T) {
+	dir := t.TempDir()
+	blocks, certs := makeChain(1)
+	b := blocks[0]
+	tentative := certs[0]
+	final := &ledger.Certificate{
+		Round: b.Round, Step: 0, Value: b.Hash(), Final: true,
+		Votes: []ledger.Vote{{Round: b.Round, Value: b.Hash()}},
+	}
+
+	s := mustOpen(t, dir, Options{})
+	if err := s.Append(b, tentative); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(b, final); err != nil {
+		t.Fatal(err)
+	}
+	// Downgrade attempt is a no-op.
+	if err := s.Append(b, tentative); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Appends != 2 {
+		t.Fatalf("journaled %d records, want 2 (put + cert)", st.Appends)
+	}
+	s.Close()
+
+	r := mustOpen(t, dir, Options{})
+	defer r.Close()
+	c, ok := r.Recovered().Cert(b.Round)
+	if !ok || !c.Final {
+		t.Fatalf("recovered cert final=%v, want final certificate", ok && c.Final)
+	}
+}
+
+// TestReconcileDurable: §8.2 fork repair replaces the block on disk;
+// a nil certificate erases the stored one; matching state is a no-op.
+func TestReconcileDurable(t *testing.T) {
+	dir := t.TempDir()
+	blocks, certs := makeChain(2)
+
+	s := mustOpen(t, dir, Options{})
+	for i, b := range blocks {
+		if err := s.Append(b, certs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The canonical chain disagrees about round 2: adopt a different
+	// block with no certificate of its own.
+	fork := &ledger.Block{
+		Round:    2,
+		PrevHash: blocks[0].Hash(),
+		Seed:     crypto.HashUint64("test.fork", 2, nil),
+	}
+	if err := s.Reconcile(fork, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats().Appends
+	if err := s.Reconcile(fork, nil); err != nil { // identical state: no-op
+		t.Fatal(err)
+	}
+	if after := s.Stats().Appends; after != before {
+		t.Fatalf("idempotent reconcile journaled %d extra records", after-before)
+	}
+	s.Close()
+
+	r := mustOpen(t, dir, Options{})
+	defer r.Close()
+	got, ok := r.Recovered().Block(2)
+	if !ok || got.Hash() != fork.Hash() {
+		t.Fatal("reconciled block did not survive recovery")
+	}
+	if _, ok := r.Recovered().Cert(2); ok {
+		t.Fatal("erased certificate came back after recovery")
+	}
+	if b1, ok := r.Recovered().Block(1); !ok || b1.Hash() != blocks[0].Hash() {
+		t.Fatal("untouched round 1 damaged by reconcile")
+	}
+}
+
+// TestShardedAppend: only the shard's rounds are persisted.
+func TestShardedAppend(t *testing.T) {
+	dir := t.TempDir()
+	blocks, certs := makeChain(6)
+	s := mustOpen(t, dir, Options{ShardIndex: 1, ShardCount: 3})
+	for i, b := range blocks {
+		if err := s.Append(b, certs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	r := mustOpen(t, dir, Options{ShardIndex: 1, ShardCount: 3})
+	defer r.Close()
+	if got := r.Rounds(); got != 2 { // rounds 1 and 4 ≡ 1 (mod 3)
+		t.Fatalf("recovered %d rounds, want 2", got)
+	}
+	if _, ok := r.Recovered().Block(4); !ok {
+		t.Fatal("round 4 (≡ shard 1 mod 3) missing")
+	}
+	if _, ok := r.Recovered().Block(2); ok {
+		t.Fatal("round 2 persisted outside the shard")
+	}
+}
+
+// lastSegment returns the path of the highest-numbered segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var best string
+	var bestSeq uint64
+	for _, e := range entries {
+		if seq, ok := segSeq(e.Name()); ok && seq >= bestSeq {
+			bestSeq, best = seq, filepath.Join(dir, e.Name())
+		}
+	}
+	if best == "" {
+		t.Fatal("no segment files")
+	}
+	return best
+}
+
+// recordOffsets parses a segment's framing and returns each record's
+// start offset and payload length.
+func recordOffsets(t *testing.T, path string) (data []byte, offs []int, lens []int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off+headerSize <= len(data); {
+		if binary.LittleEndian.Uint32(data[off:]) != recordMagic {
+			break
+		}
+		l := int(binary.LittleEndian.Uint32(data[off+4:]))
+		if off+headerSize+l > len(data) {
+			break
+		}
+		offs = append(offs, off)
+		lens = append(lens, l)
+		off += headerSize + l
+	}
+	return data, offs, lens
+}
+
+// TestTornTailTruncated: a crash mid-append leaves a half-written
+// record; recovery must cut it off at the record boundary and keep the
+// durable prefix.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	blocks, certs := makeChain(4)
+	s := mustOpen(t, dir, Options{})
+	for i, b := range blocks {
+		if err := s.Append(b, certs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := snapshot(s)
+	s.Close()
+
+	// Simulate the torn tail a SIGKILL mid-commit leaves behind: a
+	// correct header claiming more payload than ever hit the disk.
+	seg := lastSegment(t, dir)
+	tail := make([]byte, headerSize+10)
+	binary.LittleEndian.PutUint32(tail[0:4], recordMagic)
+	binary.LittleEndian.PutUint32(tail[4:8], 4096) // claims 4 KiB, has 10 B
+	binary.LittleEndian.PutUint32(tail[8:12], 0)
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(tail)
+	f.Close()
+	sizeBefore := fileSize(t, seg)
+
+	r := mustOpen(t, dir, Options{})
+	defer r.Close()
+	st := r.Stats()
+	if st.TruncatedBytes != int64(len(tail)) {
+		t.Fatalf("truncated %d bytes, want %d", st.TruncatedBytes, len(tail))
+	}
+	if got := snapshot(r); !bytes.Equal(got, want) {
+		t.Fatal("torn tail damaged the durable prefix")
+	}
+	if after := fileSize(t, seg); after != sizeBefore-int64(len(tail)) {
+		t.Fatalf("segment size %d after recovery, want %d", after, sizeBefore-int64(len(tail)))
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestCorruptRecordDropped: bit rot inside one record's payload drops
+// exactly that record; framing resync keeps every later record.
+func TestCorruptRecordDropped(t *testing.T) {
+	dir := t.TempDir()
+	blocks, certs := makeChain(3)
+	s := mustOpen(t, dir, Options{})
+	for i, b := range blocks {
+		if err := s.Append(b, certs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Flip one byte inside record 2 (records: 0=meta, 1..3=puts), i.e.
+	// round 2's put.
+	seg := lastSegment(t, dir)
+	data, offs, lens := recordOffsets(t, seg)
+	if len(offs) < 4 {
+		t.Fatalf("found %d records, want ≥ 4", len(offs))
+	}
+	data[offs[2]+headerSize+lens[2]/2] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{})
+	defer r.Close()
+	st := r.Stats()
+	if st.DroppedRecords != 1 {
+		t.Fatalf("dropped %d records, want 1 (stats %+v)", st.DroppedRecords, st)
+	}
+	if _, ok := r.Recovered().Block(2); ok {
+		t.Fatal("corrupt round-2 record was not dropped")
+	}
+	for _, round := range []uint64{1, 3} {
+		if _, ok := r.Recovered().Block(round); !ok {
+			t.Fatalf("round %d lost despite intact record", round)
+		}
+	}
+}
+
+// TestRotateAndRetryOnFaults: scripted torn-write and fsync faults on
+// the active segment must not lose data — the store rotates to a fresh
+// segment and retries, and recovery sees every round.
+func TestRotateAndRetryOnFaults(t *testing.T) {
+	dir := t.TempDir()
+	inj := diskfault.New(nil)
+	// Tear the write crossing offset 150 of segment 1, then fail an
+	// fsync on segment 2 once 100 bytes are down.
+	inj.Script(segName(1), diskfault.Script{{After: 150, Act: diskfault.TornWrite}})
+	inj.Script(segName(2), diskfault.Script{{After: 100, Act: diskfault.FailSync}})
+
+	blocks, certs := makeChain(6)
+	s := mustOpen(t, dir, Options{FS: inj})
+	for i, b := range blocks {
+		if err := s.Append(b, certs[i]); err != nil {
+			t.Fatalf("append round %d under faults: %v", b.Round, err)
+		}
+	}
+	want := snapshot(s)
+	st := s.Stats()
+	if st.WriteErrors == 0 || st.SyncErrors == 0 {
+		t.Fatalf("faults did not fire: %+v (injector fired %d)", st, inj.Fired())
+	}
+	if st.Rotations < 2 {
+		t.Fatalf("rotated %d times, want ≥ 2", st.Rotations)
+	}
+	s.Close()
+
+	// Recovery through the real filesystem: the torn segment tails are
+	// truncated, and every appended round survives.
+	r := mustOpen(t, dir, Options{})
+	defer r.Close()
+	if got := snapshot(r); !bytes.Equal(got, want) {
+		t.Fatalf("recovery after faults lost data (stats %+v)", r.Stats())
+	}
+}
+
+// TestCorruptReadAtRecovery: a bad sector surfacing while recovery
+// reads a segment back must drop only the affected record.
+func TestCorruptReadAtRecovery(t *testing.T) {
+	dir := t.TempDir()
+	blocks, certs := makeChain(3)
+	s := mustOpen(t, dir, Options{})
+	for i, b := range blocks {
+		if err := s.Append(b, certs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	seg := lastSegment(t, dir)
+	_, offs, lens := recordOffsets(t, seg)
+	if len(offs) < 4 {
+		t.Fatalf("found %d records, want ≥ 4", len(offs))
+	}
+	inj := diskfault.New(nil)
+	inj.Script(filepath.Base(seg), diskfault.Script{
+		{After: int64(offs[3] + headerSize + lens[3]/2), Act: diskfault.CorruptRead},
+	})
+
+	r, err := Open(dir, Options{FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if inj.Fired() != 1 {
+		t.Fatalf("corrupt-read fired %d times, want 1", inj.Fired())
+	}
+	if st := r.Stats(); st.DroppedRecords != 1 {
+		t.Fatalf("dropped %d records, want 1", st.DroppedRecords)
+	}
+	if _, ok := r.Recovered().Block(3); ok {
+		t.Fatal("record read through a bad sector was trusted")
+	}
+	for _, round := range []uint64{1, 2} {
+		if _, ok := r.Recovered().Block(round); !ok {
+			t.Fatalf("round %d lost", round)
+		}
+	}
+}
+
+// TestSegmentRotationBySize: small segments roll over and recovery
+// walks all of them in order.
+func TestSegmentRotationBySize(t *testing.T) {
+	dir := t.TempDir()
+	blocks, certs := makeChain(12)
+	s := mustOpen(t, dir, Options{SegmentBytes: 1024})
+	for i, b := range blocks {
+		if err := s.Append(b, certs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := snapshot(s)
+	if st := s.Stats(); st.Rotations == 0 {
+		t.Fatal("1 KiB segments never rotated across 12 rounds")
+	}
+	s.Close()
+
+	entries, _ := os.ReadDir(dir)
+	if len(entries) < 3 {
+		t.Fatalf("%d segment files, want ≥ 3", len(entries))
+	}
+	r := mustOpen(t, dir, Options{})
+	defer r.Close()
+	if got := snapshot(r); !bytes.Equal(got, want) {
+		t.Fatal("multi-segment recovery mismatch")
+	}
+}
+
+// TestClosedStore: writes after Close fail loudly.
+func TestClosedStore(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	s.Close()
+	blocks, certs := makeChain(1)
+	if err := s.Append(blocks[0], certs[0]); err != ErrClosed {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestFaultSoak is the DISKFAULT_SOAK knob: randomized fault scripts
+// (torn writes, failed writes, failed fsyncs) against random append
+// schedules, asserting after every iteration that recovery restores
+// exactly what Append reported durable. DISKFAULT_SOAK=200 runs 200
+// iterations; unset runs a quick 10.
+func TestFaultSoak(t *testing.T) {
+	iters := 10
+	if v := os.Getenv("DISKFAULT_SOAK"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("bad DISKFAULT_SOAK=%q", v)
+		}
+		iters = n
+	}
+	for it := 0; it < iters; it++ {
+		it := it
+		t.Run(fmt.Sprintf("iter=%d", it), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(0xD15C + it)))
+			dir := t.TempDir()
+			inj := diskfault.New(nil)
+			// Script 1-3 write-side faults at random offsets over the
+			// first few segments.
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				acts := []diskfault.Action{diskfault.TornWrite, diskfault.FailWrite, diskfault.FailSync}
+				inj.Script(segName(uint64(1+rng.Intn(2))), diskfault.Script{{
+					After: int64(rng.Intn(4000)),
+					Act:   acts[rng.Intn(len(acts))],
+				}})
+			}
+			n := 3 + rng.Intn(10)
+			blocks, certs := makeChain(n)
+			s, err := Open(dir, Options{FS: inj, SegmentBytes: int64(512 + rng.Intn(4096))})
+			if err != nil {
+				t.Fatalf("open under faults: %v", err)
+			}
+			durable := make(map[uint64]bool)
+			for i, b := range blocks {
+				c := certs[i]
+				if rng.Intn(4) == 0 {
+					c = nil // some rounds commit without a cert first
+				}
+				if err := s.Append(b, c); err == nil {
+					durable[b.Round] = true
+				}
+			}
+			want := snapshot(s)
+			s.Close()
+
+			r := mustOpen(t, dir, Options{})
+			defer r.Close()
+			got := snapshot(r)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("recovery mismatch after faults (stats %+v, injector fired %d)",
+					r.Stats(), inj.Fired())
+			}
+			for round := range durable {
+				if _, ok := r.Recovered().Block(round); !ok {
+					t.Fatalf("round %d reported durable but lost", round)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAppend measures the fsync'd commit path.
+func BenchmarkAppend(b *testing.B) {
+	for _, sync := range []bool{true, false} {
+		name := "fsync"
+		if !sync {
+			name = "nosync"
+		}
+		b.Run(name, func(b *testing.B) {
+			dir := b.TempDir()
+			s, err := Open(dir, Options{NoSync: !sync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			blocks, certs := makeChain(b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Append(blocks[i], certs[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecover measures Open over an existing chain.
+func BenchmarkRecover(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("rounds=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			s, err := Open(dir, Options{NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			blocks, certs := makeChain(n)
+			for i := range blocks {
+				if err := s.Append(blocks[i], certs[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := Open(dir, Options{NoSync: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Rounds() != n {
+					b.Fatalf("recovered %d rounds", r.Rounds())
+				}
+				r.Close()
+			}
+		})
+	}
+}

@@ -99,7 +99,7 @@ func (n *Node) applyRound(b *ledger.Block, cert *ledger.Certificate, cp ledger.C
 	if err := n.ledger.Commit(b, cert); err != nil {
 		return fmt.Errorf("round %d commit: %w", b.Round, err)
 	}
-	n.store.Put(b, cert)
+	n.persistPut(b, cert)
 	return nil
 }
 
@@ -174,7 +174,7 @@ func (n *Node) applyCertifiedRun(pending []*ledger.Block, cb *ledger.Block, cert
 	}
 	// The whole run is certificate-backed now; archive the prefix too.
 	for _, b := range pending {
-		n.store.Reconcile(b, nil)
+		n.persistReconcile(b, nil)
 	}
 	return len(pending) + 1, nil
 }

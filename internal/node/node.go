@@ -15,6 +15,7 @@ import (
 	"algorand/internal/blockprop"
 	"algorand/internal/crypto"
 	"algorand/internal/ledger"
+	"algorand/internal/ledger/diskstore"
 	"algorand/internal/network"
 	"algorand/internal/params"
 	"algorand/internal/sortition"
@@ -87,6 +88,13 @@ type Config struct {
 	MaxRecoveryAttempts int
 	// ShardCount configures §8.3 storage sharding (0 = store all).
 	ShardCount uint64
+	// Archive, when non-nil, is the durable on-disk form of the node's
+	// §8.3 store: every commit, catch-up adoption, and §8.2 fork repair
+	// is journaled (fsync'd) through it before the node proceeds, and a
+	// restart recovers the chain from it instead of from genesis. The
+	// node owns writes to the archive for its lifetime; the caller still
+	// owns Close.
+	Archive *diskstore.Store
 	// DisablePriorityGossip suppresses the §6 small priority
 	// announcements (ablation: blocks must carry priorities alone).
 	DisablePriorityGossip bool
@@ -142,7 +150,12 @@ type Node struct {
 	ledger   *ledger.Ledger
 	flow     *txflow.Flow
 	store    *ledger.Store
-	net      Transport
+	archive  *diskstore.Store
+	// persistErrors counts archive writes that failed even after the
+	// store's rotate-and-retry — commits that are NOT durable. Atomic:
+	// the pipelined final-step process and tests read it concurrently.
+	persistErrors atomic.Int64
+	net           Transport
 	sim      *vtime.Sim
 	proc     *vtime.Proc
 
@@ -264,6 +277,7 @@ func New(
 		blockMsgRound: make(map[crypto.Digest]uint64),
 		requestedAt:   make(map[crypto.Digest]time.Duration),
 		finalCtxs:     make(map[uint64]*agreement.Context),
+		archive:       cfg.Archive,
 	}
 	net.SetHandler(id, network.HandlerFunc(n.handleMessage))
 	return n
@@ -274,6 +288,38 @@ func (n *Node) Ledger() *ledger.Ledger { return n.ledger }
 
 // Store exposes the node's §8.3 archive.
 func (n *Node) Store() *ledger.Store { return n.store }
+
+// Archive exposes the node's durable on-disk store, if configured.
+func (n *Node) Archive() *diskstore.Store { return n.archive }
+
+// PersistErrors reports how many archive writes failed permanently
+// (after the diskstore's own rotate-and-retry) — each one a commit the
+// node holds in memory but could not make durable.
+func (n *Node) PersistErrors() int64 { return n.persistErrors.Load() }
+
+// persistPut archives a committed (block, certificate) pair, journaling
+// it to the durable store — fsync'd before this returns — when one is
+// configured. The paper's §8.3 storage obligation: persist before the
+// round's outcome is treated as settled.
+func (n *Node) persistPut(b *ledger.Block, c *ledger.Certificate) {
+	n.store.Put(b, c)
+	if n.archive != nil {
+		if err := n.archive.Append(b, c); err != nil {
+			n.persistErrors.Add(1)
+		}
+	}
+}
+
+// persistReconcile forces the archives — memory and disk — to the
+// canonical block for a round after §8.2 fork repair.
+func (n *Node) persistReconcile(b *ledger.Block, c *ledger.Certificate) {
+	n.store.Reconcile(b, c)
+	if n.archive != nil {
+		if err := n.archive.Reconcile(b, c); err != nil {
+			n.persistErrors.Add(1)
+		}
+	}
+}
 
 // TxFlow exposes the node's transaction ingestion pipeline. Unlike
 // the unsynchronized pool it replaced, the Flow is safe for concurrent
@@ -875,7 +921,7 @@ func (n *Node) runRound() error {
 		n.setContext(nil)
 		return fmt.Errorf("commit: %w", err)
 	}
-	n.store.Put(block, cert)
+	n.persistPut(block, cert)
 	n.flow.Committed(block, n.ledger.Balances())
 	stat.Empty = block.IsEmpty()
 	stat.Value = out.Value
@@ -902,7 +948,7 @@ func (n *Node) finishRoundPipelined(ctx *agreement.Context, target *ledger.Block
 		n.setContext(nil)
 		return fmt.Errorf("commit: %w", err)
 	}
-	n.store.Put(block, bres.Cert)
+	n.persistPut(block, bres.Cert)
 	n.flow.Committed(block, n.ledger.Balances())
 	stat.Empty = block.IsEmpty()
 	stat.Value = bres.Value
@@ -925,7 +971,7 @@ func (n *Node) finishRoundPipelined(ctx *agreement.Context, target *ledger.Block
 		n.Stats[statIdx].Final = true
 		// Upgrade the ledger entry and the archive to final.
 		if err := n.ledger.Commit(block, cert); err == nil {
-			n.store.Put(block, cert)
+			n.persistPut(block, cert)
 		}
 	})
 	return nil

@@ -296,8 +296,8 @@ func (n *Node) adoptChain(b *ledger.Block, cert *ledger.Certificate) bool {
 	// archived for those rounds belongs to the abandoned fork, and a
 	// restart must not replay it.
 	for i := len(chain) - 1; i >= 0; i-- {
-		n.store.Reconcile(chain[i], nil)
+		n.persistReconcile(chain[i], nil)
 	}
-	n.store.Reconcile(b, cert)
+	n.persistReconcile(b, cert)
 	return true
 }

@@ -7,11 +7,14 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"time"
 
 	"algorand/internal/crypto"
+	"algorand/internal/diskfault"
 	"algorand/internal/ledger"
+	"algorand/internal/ledger/diskstore"
 	"algorand/internal/network"
 	"algorand/internal/node"
 	"algorand/internal/params"
@@ -59,6 +62,17 @@ type Config struct {
 	TxFlow txflow.Config
 	// Horizon bounds virtual time (0 = generous default).
 	Horizon time.Duration
+	// DataDir, when non-empty, gives every node a durable on-disk
+	// archive (internal/ledger/diskstore) under DataDir/node-<i>.
+	// CrashNode then models a SIGKILL that loses memory but keeps the
+	// data directory, and RestartNode recovers from the disk — torn-tail
+	// truncation, checksum checks and certificate re-verification
+	// included — before delta catch-up from peers.
+	DataDir string
+	// DiskFS overrides the filesystem the archives write through (nil =
+	// the real one). Tests pass a diskfault.Injector to script torn
+	// writes, fsync failures and corrupt-sector reads.
+	DiskFS diskfault.FS
 }
 
 // DefaultConfig returns a simulation with the paper's structure at
@@ -105,6 +119,7 @@ type Cluster struct {
 	Genesis  map[crypto.PublicKey]uint64
 	Seed0    crypto.Digest
 	nodeCfg  node.Config
+	archives []*diskstore.Store
 }
 
 // NewCluster builds the deployment (without starting node processes).
@@ -156,12 +171,63 @@ func NewCluster(cfg Config) *Cluster {
 		PipelineFinalStep: cfg.PipelineFinalStep,
 		TxFlow:            cfg.TxFlow,
 	}
+	c.archives = make([]*diskstore.Store, cfg.N)
 	for i := 0; i < cfg.N; i++ {
-		n := node.New(i, c.Sim, c.Net, c.Provider, c.ids[i], c.nodeCfg, c.Genesis, c.Seed0)
+		nodeCfg := c.nodeCfg
+		if cfg.DataDir != "" {
+			ds, err := diskstore.Open(c.nodeDataDir(i), c.archiveOptions(i))
+			if err != nil {
+				panic(fmt.Sprintf("sim: opening archive for node %d: %v", i, err))
+			}
+			c.archives[i] = ds
+			nodeCfg.Archive = ds
+		}
+		n := node.New(i, c.Sim, c.Net, c.Provider, c.ids[i], nodeCfg, c.Genesis, c.Seed0)
 		n.StopAfterRound = cfg.Rounds
 		c.Nodes = append(c.Nodes, n)
 	}
 	return c
+}
+
+// nodeDataDir is node i's archive directory under Config.DataDir.
+func (c *Cluster) nodeDataDir(i int) string {
+	return filepath.Join(c.Cfg.DataDir, fmt.Sprintf("node-%d", i))
+}
+
+func (c *Cluster) archiveOptions(i int) diskstore.Options {
+	return diskstore.Options{
+		FS:         c.Cfg.DiskFS,
+		ShardIndex: uint64(i),
+		ShardCount: c.Cfg.ShardCount,
+	}
+}
+
+// Archive returns node i's durable store (nil without Config.DataDir).
+func (c *Cluster) Archive(i int) *diskstore.Store { return c.archives[i] }
+
+// OpenArchiveOffline re-opens node i's data directory with a fresh
+// recovery scan, independent of the node's live handle (close that
+// first via CloseArchives). The caller owns Close on the result.
+func (c *Cluster) OpenArchiveOffline(i int) (*diskstore.Store, error) {
+	if c.Cfg.DataDir == "" {
+		return nil, fmt.Errorf("sim: no DataDir configured")
+	}
+	return diskstore.Open(c.nodeDataDir(i), c.archiveOptions(i))
+}
+
+// CloseArchives closes every open archive (end of a durable run, before
+// inspecting the data directories offline).
+func (c *Cluster) CloseArchives() error {
+	var first error
+	for _, ds := range c.archives {
+		if ds == nil {
+			continue
+		}
+		if err := ds.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // CrashNode simulates a crash of node i: it goes silent immediately and
@@ -176,18 +242,38 @@ func (c *Cluster) CrashNode(i int) { c.Nodes[i].Halt() }
 // replacement (also installed in c.Nodes) and how many rounds were
 // restored from the archive.
 func (c *Cluster) RestartNode(i int, syncBudget time.Duration) (*node.Node, uint64, error) {
-	return c.RestartNodeFromStore(i, c.Nodes[i].Store(), syncBudget)
+	if c.archives[i] != nil {
+		// True disk recovery: drop the crashed process's in-memory state
+		// entirely, close its archive handle, and re-open the data
+		// directory — running the full recovery scan (torn-tail
+		// truncation, checksum checks) before certificate re-verification.
+		c.archives[i].Close()
+		ds, err := diskstore.Open(c.nodeDataDir(i), c.archiveOptions(i))
+		if err != nil {
+			return nil, 0, err
+		}
+		c.archives[i] = ds
+		return c.restartWith(i, ds.Recovered(), ds, syncBudget)
+	}
+	return c.restartWith(i, c.Nodes[i].Store(), nil, syncBudget)
 }
 
 // RestartNodeFromStore is RestartNode with an explicit archive to
-// restore from (e.g. a tampered copy, for adversarial tests). If the
-// archive fails validation the replacement is installed but not started.
+// restore from (e.g. a tampered copy, for adversarial tests); the
+// replacement gets no durable archive. If the archive fails validation
+// the replacement is installed but not started.
 func (c *Cluster) RestartNodeFromStore(i int, src *ledger.Store, syncBudget time.Duration) (*node.Node, uint64, error) {
+	return c.restartWith(i, src, nil, syncBudget)
+}
+
+func (c *Cluster) restartWith(i int, src *ledger.Store, archive *diskstore.Store, syncBudget time.Duration) (*node.Node, uint64, error) {
 	old := c.Nodes[i]
 	if !old.Halted() {
 		old.Halt()
 	}
-	n := node.New(i, c.Sim, c.Net, c.Provider, c.ids[i], c.nodeCfg, c.Genesis, c.Seed0)
+	nodeCfg := c.nodeCfg
+	nodeCfg.Archive = archive
+	n := node.New(i, c.Sim, c.Net, c.Provider, c.ids[i], nodeCfg, c.Genesis, c.Seed0)
 	n.StopAfterRound = c.Cfg.Rounds
 	c.Nodes[i] = n
 	restored, err := n.RestoreFromArchive(src)
