@@ -16,6 +16,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -23,9 +25,11 @@ import (
 	"algorand/internal/crypto"
 	"algorand/internal/ledger"
 	"algorand/internal/ledger/diskstore"
+	"algorand/internal/metrics"
 	"algorand/internal/node"
 	"algorand/internal/params"
 	"algorand/internal/realnet"
+	"algorand/internal/trace"
 	"algorand/internal/txflow"
 	"algorand/internal/vtime"
 )
@@ -40,7 +44,8 @@ func main() {
 		lambdaMS = flag.Int("lambda-ms", 500, "λ_step in milliseconds (other λs scale with it)")
 		verbose  = flag.Bool("v", false, "log transport errors")
 		stats    = flag.Bool("stats", false, "print per-peer transport statistics on exit")
-		statsSec = flag.Int("stats-interval", 0, "also print transport statistics every N seconds (0 = off)")
+		statsSec = flag.Int("stats-interval", 0, "print a unified stats snapshot (rounds, BA⋆, pipeline, transport, disk) every N seconds (0 = off)")
+		metricsA = flag.String("metrics-addr", "", "listen address for the Prometheus-style text metrics endpoint (empty = off)")
 		submit   = flag.String("submit-addr", "", "listen address for the TCP/JSON transaction submission endpoint (empty = off)")
 		workers  = flag.Int("tx-workers", 4, "signature-verification workers for gossip batches (0 = verify inline)")
 		dataDir  = flag.String("data-dir", "", "directory for the durable WAL archive; restarts recover the chain from it (empty = in-memory only)")
@@ -80,12 +85,21 @@ func main() {
 	}
 	seed0 := crypto.HashUint64("algorand-node.genesis", *gseed)
 
+	// One registry for the whole process: the transport, the durable
+	// archive, and the node (BA⋆ counters, round outcomes, trace phase
+	// histograms, the tx pipeline) all record here, so the metrics
+	// endpoint and the periodic snapshot see every subsystem at once.
+	reg := metrics.NewRegistry()
+
 	sim := vtime.New().Realtime()
-	transport, err := realnet.New(sim, *id, addrs)
+	ln, err := net.Listen("tcp", addrs[*id])
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "listen %s: %v\n", addrs[*id], err)
 		os.Exit(1)
 	}
+	rcfg := realnet.DefaultConfig()
+	rcfg.Metrics = reg
+	transport := realnet.NewWithConfig(sim, *id, addrs, ln, rcfg)
 	defer transport.Close()
 	if *verbose {
 		transport.OnError(func(err error) {
@@ -99,6 +113,10 @@ func main() {
 	// clock must be readable off the scheduler: use the wall clock.
 	epoch := time.Now()
 	cfg.TxFlow.Now = func() time.Duration { return time.Since(epoch) }
+	cfg.Metrics = reg
+	// Round spans on the wall clock (readable from the final-step
+	// background process as well as the scheduler).
+	cfg.Tracer = trace.New(func() time.Duration { return time.Since(epoch) }, 0)
 
 	// Durable archive: every commit journals through the WAL before the
 	// node proceeds, and a restart recovers the chain from disk (torn
@@ -106,7 +124,7 @@ func main() {
 	// rejoining via delta catch-up.
 	var archive *diskstore.Store
 	if *dataDir != "" {
-		archive, err = diskstore.Open(*dataDir, diskstore.Options{})
+		archive, err = diskstore.Open(*dataDir, diskstore.Options{Metrics: reg})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "opening data dir: %v\n", err)
 			os.Exit(1)
@@ -150,13 +168,22 @@ func main() {
 		defer srv.Close()
 		fmt.Printf("node %d accepting transactions on %s\n", *id, srv.Addr())
 	}
+	if *metricsA != "" {
+		mln, err := net.Listen("tcp", *metricsA)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics listen %s: %v\n", *metricsA, err)
+			os.Exit(1)
+		}
+		defer mln.Close()
+		go http.Serve(mln, reg.Handler())
+		fmt.Printf("node %d serving metrics on http://%s/\n", *id, mln.Addr())
+	}
 	if *statsSec > 0 {
 		every := time.Duration(*statsSec) * time.Second
 		sim.Spawn("stats", func(p *vtime.Proc) {
 			for {
 				p.Sleep(every)
-				fmt.Fprintf(os.Stderr, "%s\n", transport.Stats())
-				fmt.Fprintf(os.Stderr, "%s\n", nd.TxFlow().Stats())
+				printUnifiedStats(reg, transport, nd, archive != nil)
 			}
 		})
 	}
@@ -186,6 +213,11 @@ func main() {
 	}
 	head := nd.Ledger().Head()
 	fmt.Printf("head: round %d hash %s\n", head.Round, head.Hash().Hex()[:16])
+	for _, ph := range []trace.Phase{trace.PhasePropose, trace.PhaseBAStep, trace.PhaseCommit, trace.PhasePersist} {
+		if s := nd.Tracer().PhaseSummary(ph); s.N > 0 {
+			fmt.Printf("phase %-8s n=%-4d p50=%.1fms p99=%.1fms max=%.1fms\n", ph, s.N, s.P50ms, s.P99ms, s.MaxMs)
+		}
+	}
 	if h, ok := nd.TransportHealth(); ok {
 		fmt.Printf("transport: %d/%d peers connected, %d quarantined, %d queue drops, %d redials\n",
 			h.Connected, h.Peers, h.Quarantined, h.QueueDrops, h.Redials)
@@ -194,4 +226,36 @@ func main() {
 	if *stats {
 		fmt.Printf("%s\n", transport.Stats())
 	}
+}
+
+// printUnifiedStats renders one periodic observability snapshot to
+// stderr. The headline lines come from a single registry Snapshot() —
+// rounds, BA⋆ steps, trace percentiles, pipeline, transport and disk
+// all read at the same instant — followed by the typed per-peer
+// transport detail (queues, scores, quarantine state) the registry
+// does not carry.
+func printUnifiedStats(reg *metrics.Registry, transport *realnet.Transport, nd *node.Node, haveDisk bool) {
+	snap := reg.Snapshot()
+	c := func(name string) uint64 { return uint64(snap[name].Value) }
+	fmt.Fprintf(os.Stderr, "-- rounds: total=%d final=%d empty=%d | ba: steps=%d timeouts=%d votes_cast=%d votes_counted=%d\n",
+		c("algorand_node_rounds_total"), c("algorand_node_rounds_final_total"), c("algorand_node_rounds_empty_total"),
+		c("algorand_ba_steps_total"), c("algorand_ba_step_timeouts_total"),
+		c("algorand_ba_votes_cast_total"), c("algorand_ba_votes_counted_total"))
+	if v, ok := snap[metrics.Name("algorand_trace_phase_seconds", "phase", string(trace.PhaseRound))]; ok && v.Count > 0 {
+		fmt.Fprintf(os.Stderr, "-- round latency: n=%d p50=%.2fs p90=%.2fs p99=%.2fs\n",
+			v.Count, v.Q["p50"], v.Q["p90"], v.Q["p99"])
+	}
+	fmt.Fprintf(os.Stderr, "-- txflow: admitted=%d verified=%d pending=%d dups=%d cache_hits=%d\n",
+		c("algorand_txflow_admitted_total"), c("algorand_txflow_verified_total"),
+		c("algorand_txflow_pending"),
+		c(metrics.Name("algorand_txflow_rejected_total", "reason", "duplicate")),
+		c("algorand_txflow_verified_cache_hits_total"))
+	if haveDisk {
+		fmt.Fprintf(os.Stderr, "-- disk: appends=%d rotations=%d write_errors=%d sync_errors=%d persist_errors=%d\n",
+			c("algorand_disk_appends_total"), c("algorand_disk_rotations_total"),
+			c("algorand_disk_write_errors_total"), c("algorand_disk_sync_errors_total"),
+			c("algorand_node_persist_errors_total"))
+	}
+	fmt.Fprintf(os.Stderr, "%s\n", transport.Stats())
+	fmt.Fprintf(os.Stderr, "%s\n", nd.TxFlow().Stats())
 }

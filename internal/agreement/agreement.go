@@ -18,10 +18,42 @@ import (
 
 	"algorand/internal/crypto"
 	"algorand/internal/ledger"
+	"algorand/internal/metrics"
 	"algorand/internal/params"
 	"algorand/internal/sortition"
 	"algorand/internal/vtime"
 )
+
+// Metrics aggregates BA⋆'s per-step observability counters in a
+// registry. All fields are registry-backed; a nil *Metrics disables
+// recording (every hook checks).
+type Metrics struct {
+	// Steps counts CountVotes executions (one per BA⋆ step entered).
+	Steps *metrics.Counter
+	// StepTimeouts counts steps that expired without crossing T·tau.
+	StepTimeouts *metrics.Counter
+	// VotesCounted counts validated votes tallied toward a threshold.
+	VotesCounted *metrics.Counter
+	// VotesDeduped counts votes dropped because the sender already voted
+	// in the step (the Algorithm 5 dedup rule).
+	VotesDeduped *metrics.Counter
+	// VotesCast counts committee votes this user signed and gossiped.
+	VotesCast *metrics.Counter
+	// StepSeconds observes each CountVotes duration.
+	StepSeconds *metrics.Histogram
+}
+
+// NewMetrics registers the BA⋆ counter family in r.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		Steps:        r.Counter("algorand_ba_steps_total", "BA⋆ vote-counting steps entered"),
+		StepTimeouts: r.Counter("algorand_ba_step_timeouts_total", "BA⋆ steps that timed out without a threshold winner"),
+		VotesCounted: r.Counter("algorand_ba_votes_counted_total", "validated committee votes tallied"),
+		VotesDeduped: r.Counter("algorand_ba_votes_deduped_total", "votes dropped by the per-step sender dedup rule"),
+		VotesCast:    r.Counter("algorand_ba_votes_cast_total", "committee votes this user signed and gossiped"),
+		StepSeconds:  r.Histogram("algorand_ba_step_seconds", "CountVotes duration per step", nil),
+	}
+}
 
 // Wire step numbers. The two reduction steps come first; BinaryBA⋆
 // steps follow; the final-confirmation step has a distinguished number
@@ -71,6 +103,8 @@ type Env struct {
 	// step, how long the count took, and whether it timed out. Drives
 	// the §10.5 timeout-validation experiment.
 	StepTimer func(step uint64, took time.Duration, timedOut bool)
+	// Metrics, when non-nil, receives per-step counter updates.
+	Metrics *Metrics
 }
 
 // Outcome is the result of one BA⋆ execution.
@@ -137,6 +171,9 @@ func CommitteeVote(env *Env, ctx *Context, step uint64, tau uint64, value crypto
 	}
 	v.Sign(env.Identity)
 	env.Gossip(v)
+	if env.Metrics != nil {
+		env.Metrics.VotesCast.Inc()
+	}
 }
 
 // countResult is what CountVotes observed in one step.
@@ -157,8 +194,16 @@ type countResult struct {
 func CountVotes(env *Env, ctx *Context, step uint64, T float64, tau uint64, lambda time.Duration) countResult {
 	start := env.Proc.Now()
 	res := countVotesInner(env, ctx, step, T, tau, lambda)
+	took := env.Proc.Now() - start
+	if m := env.Metrics; m != nil {
+		m.Steps.Inc()
+		if res.timedOut {
+			m.StepTimeouts.Inc()
+		}
+		m.StepSeconds.ObserveDuration(took)
+	}
 	if env.StepTimer != nil {
-		env.StepTimer(step, env.Proc.Now()-start, res.timedOut)
+		env.StepTimer(step, took, res.timedOut)
 	}
 	return res
 }
@@ -179,9 +224,15 @@ func countVotesInner(env *Env, ctx *Context, step uint64, T float64, tau uint64,
 		}
 		vv := m.(ValidatedVote)
 		if voters[vv.Vote.Sender] || vv.NumVotes == 0 {
+			if voters[vv.Vote.Sender] && env.Metrics != nil {
+				env.Metrics.VotesDeduped.Inc()
+			}
 			continue
 		}
 		voters[vv.Vote.Sender] = true
+		if env.Metrics != nil {
+			env.Metrics.VotesCounted.Inc()
+		}
 		res.all = append(res.all, vv)
 		res.votesFor[vv.Vote.Value] = append(res.votesFor[vv.Vote.Value], vv)
 		counts[vv.Vote.Value] += vv.NumVotes

@@ -40,7 +40,7 @@ func AblatePriorityGossip(scale Scale) AblationResult {
 			Latency:   sim.Summarize(c.AllRoundLatencies(1, cfg.Rounds)),
 			FinalRate: final,
 			EmptyRate: empty,
-		}, c.Net.TotalBytes
+		}, c.Net.TotalBytes()
 	}
 	base, baseBytes := run(false)
 	abl, ablBytes := run(true)
@@ -74,7 +74,7 @@ func AblateVoteNext3(scale Scale) AblationResult {
 			Latency:   sim.Summarize(c.AllRoundLatencies(1, cfg.Rounds)),
 			FinalRate: final,
 			EmptyRate: empty,
-		}, c.Net.TotalBytes
+		}, c.Net.TotalBytes()
 	}
 	base, bb := run(false)
 	abl, ab := run(true)
@@ -112,7 +112,7 @@ func AblateEquivocationDiscard(scale Scale) AblationResult {
 			Latency:   sim.Summarize(c.AllRoundLatencies(1, cfg.Rounds)),
 			FinalRate: final,
 			EmptyRate: empty,
-		}, c.Net.TotalBytes
+		}, c.Net.TotalBytes()
 	}
 	base, bb := run(false)
 	abl, ab := run(true)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"algorand/internal/sim"
+	"algorand/internal/trace"
 	"algorand/internal/txflow"
 )
 
@@ -40,6 +41,42 @@ type TxflowReport struct {
 
 	// Node 0's pipeline counters at the end of the run.
 	Pipeline txflow.Stats `json:"pipeline_node0"`
+
+	// Per-phase round-latency percentiles from the traced run, pooled
+	// across every node. These are the honest before/after numbers for
+	// the pipelining work queued in ROADMAP: block assembly and
+	// commit→persist are synchronous compute, so under the virtual
+	// clock they read as ~0 ms (the simulator charges wall time only
+	// for modeled costs); BA⋆ steps are real virtual-time waits.
+	Phases PhaseLatencies `json:"phase_latency_ms"`
+}
+
+// PhaseLatencies is the traced per-phase decomposition of a run's
+// rounds (trace.Summary digests, in milliseconds).
+type PhaseLatencies struct {
+	BlockAssembly   trace.Summary `json:"block_assembly"`
+	BAStep          trace.Summary `json:"ba_step"`
+	CommitToPersist trace.Summary `json:"commit_to_persist"`
+	Round           trace.Summary `json:"round"`
+}
+
+// clusterPhaseLatencies pools every node's trace spans into the
+// benchmark's phase-latency digests.
+func clusterPhaseLatencies(c *sim.Cluster) PhaseLatencies {
+	var asm, step, c2p, rnd []time.Duration
+	for i := range c.Nodes {
+		tr := c.Tracer(i)
+		asm = append(asm, tr.Durations(trace.PhaseAssemble)...)
+		step = append(step, tr.Durations(trace.PhaseBAStep)...)
+		c2p = append(c2p, tr.ChainedDurations(trace.PhaseCommit, trace.PhasePersist)...)
+		rnd = append(rnd, tr.Durations(trace.PhaseRound)...)
+	}
+	return PhaseLatencies{
+		BlockAssembly:   trace.Summarize(asm),
+		BAStep:          trace.Summarize(step),
+		CommitToPersist: trace.Summarize(c2p),
+		Round:           trace.Summarize(rnd),
+	}
 }
 
 // TxflowThroughput runs the ingest→commit experiment: n users, a
@@ -72,6 +109,7 @@ func TxflowThroughput(scale Scale, offeredTPS float64) TxflowReport {
 		PayloadBytes:       payload,
 		PaperMBytesPerHour: PaperMBytesPerHour,
 		Pipeline:           c.Nodes[0].TxFlow().Stats(),
+		Phases:             clusterPhaseLatencies(c),
 	}
 	if elapsed > 0 {
 		rep.CommittedTPS = float64(committed) / elapsed.Seconds()

@@ -55,6 +55,7 @@ import (
 	"algorand/internal/crypto"
 	"algorand/internal/diskfault"
 	"algorand/internal/ledger"
+	"algorand/internal/metrics"
 	"algorand/internal/wire"
 )
 
@@ -103,6 +104,12 @@ type Options struct {
 	// build long chains quickly; it forfeits the crash-safety the
 	// package exists for.
 	NoSync bool
+	// Metrics receives the store's counters and recovery gauges
+	// (algorand_disk_*). Nil gets a private registry, so Stats() works
+	// standalone. Recovery gauges always describe the most recent Open;
+	// the operational counters accumulate for the registry's lifetime
+	// while Stats() reports them relative to Open.
+	Metrics *metrics.Registry
 }
 
 // Stats counts what the store has done since (and during) Open.
@@ -155,7 +162,41 @@ type Store struct {
 	broken     bool // active segment absorbed a write/sync fault
 	closed     bool
 
-	stats Stats
+	cnt storeCounters
+	// base holds the operational counters' values at the end of Open,
+	// so Stats() reports activity since Open even when the registry
+	// (and thus the counters) outlives a restart.
+	base struct {
+		appends, rotations, writeErrors, syncErrors uint64
+	}
+}
+
+// storeCounters is the store's registry-backed instrumentation.
+// Recovery numbers are gauges — each Open overwrites them, so they
+// always describe the latest recovery scan — while operational counts
+// are cumulative counters.
+type storeCounters struct {
+	recoveredRounds  *metrics.Gauge
+	recoveredRecords *metrics.Gauge
+	truncatedBytes   *metrics.Gauge
+	droppedRecords   *metrics.Gauge
+	appends          *metrics.Counter
+	rotations        *metrics.Counter
+	writeErrors      *metrics.Counter
+	syncErrors       *metrics.Counter
+}
+
+func newStoreCounters(r *metrics.Registry) storeCounters {
+	return storeCounters{
+		recoveredRounds:  r.Gauge("algorand_disk_recovered_rounds", "rounds restored by the last Open scan"),
+		recoveredRecords: r.Gauge("algorand_disk_recovered_records", "intact records applied by the last Open scan"),
+		truncatedBytes:   r.Gauge("algorand_disk_truncated_bytes", "torn tail bytes cut off by the last Open scan"),
+		droppedRecords:   r.Gauge("algorand_disk_dropped_records", "records discarded by the last Open scan (bad checksum or body)"),
+		appends:          r.Counter("algorand_disk_appends_total", "records journaled"),
+		rotations:        r.Counter("algorand_disk_rotations_total", "segment rollovers (size or fault driven)"),
+		writeErrors:      r.Counter("algorand_disk_write_errors_total", "write faults absorbed by rotate-and-retry"),
+		syncErrors:       r.Counter("algorand_disk_sync_errors_total", "fsync faults absorbed by rotate-and-retry"),
+	}
 }
 
 // Open creates or recovers the archive in dir. Existing segments are
@@ -176,6 +217,10 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("diskstore: %w", err)
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	s := &Store{
 		fs:       fs,
 		dir:      dir,
@@ -183,7 +228,14 @@ func Open(dir string, opts Options) (*Store, error) {
 		noSync:   opts.NoSync,
 		mem:      ledger.NewStore(opts.ShardIndex, opts.ShardCount),
 		durable:  make(map[uint64]recState),
+		cnt:      newStoreCounters(reg),
 	}
+	// This Open's recovery scan starts from zero even if the registry
+	// carries a previous incarnation's gauges (the restart path).
+	s.cnt.recoveredRounds.Set(0)
+	s.cnt.recoveredRecords.Set(0)
+	s.cnt.truncatedBytes.Set(0)
+	s.cnt.droppedRecords.Set(0)
 
 	names, err := fs.ReadDir(dir)
 	if err != nil {
@@ -202,13 +254,18 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
-	s.stats.RecoveredRounds = s.mem.Rounds()
+	s.cnt.recoveredRounds.Set(int64(s.mem.Rounds()))
 
 	s.activeSeq = maxSeq
 	if err := s.rotateLocked(); err != nil {
 		return nil, fmt.Errorf("diskstore: starting segment: %w", err)
 	}
-	s.stats.Rotations = 0 // the initial segment isn't a rollover
+	// Baseline the operational counters so Stats() reports activity
+	// since Open — the initial segment isn't a rollover.
+	s.base.appends = s.cnt.appends.Load()
+	s.base.rotations = s.cnt.rotations.Load()
+	s.base.writeErrors = s.cnt.writeErrors.Load()
+	s.base.syncErrors = s.cnt.syncErrors.Load()
 	return s, nil
 }
 
@@ -267,20 +324,20 @@ func (s *Store) recoverSegment(path string, opts Options) error {
 		payload := rest[headerSize : headerSize+int(length)]
 		if crc32.Checksum(payload, crcTable) != sum {
 			// Framing is intact, so resync at the next record.
-			s.stats.DroppedRecords++
+			s.cnt.droppedRecords.Add(1)
 			off += headerSize + int(length)
 			continue
 		}
 		if ok := s.applyRecord(payload, opts); ok {
-			s.stats.RecoveredRecords++
+			s.cnt.recoveredRecords.Add(1)
 		} else {
-			s.stats.DroppedRecords++
+			s.cnt.droppedRecords.Add(1)
 		}
 		off += headerSize + int(length)
 	}
 
 	if torn && rerr == nil && off < len(buf) {
-		s.stats.TruncatedBytes += int64(len(buf) - off)
+		s.cnt.truncatedBytes.Add(int64(len(buf) - off))
 		if err := s.truncate(path, int64(off)); err != nil {
 			return err
 		}
@@ -392,7 +449,7 @@ func (s *Store) rotateLocked() error {
 	if s.active != nil {
 		s.active.Close()
 		s.active = nil
-		s.stats.Rotations++
+		s.cnt.rotations.Inc()
 	}
 	s.activeSeq++
 	s.activeSize = 0
@@ -429,12 +486,12 @@ func (s *Store) writeToActive(payload []byte) error {
 	binary.LittleEndian.PutUint32(rec[8:12], crc32.Checksum(payload, crcTable))
 	copy(rec[headerSize:], payload)
 	if _, err := s.active.Write(rec); err != nil {
-		s.stats.WriteErrors++
+		s.cnt.writeErrors.Inc()
 		return err
 	}
 	if !s.noSync {
 		if err := s.active.Sync(); err != nil {
-			s.stats.SyncErrors++
+			s.cnt.syncErrors.Inc()
 			return err
 		}
 	}
@@ -463,7 +520,7 @@ func (s *Store) journal(payload []byte) error {
 			lastErr = err
 			continue
 		}
-		s.stats.Appends++
+		s.cnt.appends.Inc()
 		return nil
 	}
 	return fmt.Errorf("diskstore: journal failed after retries: %w", lastErr)
@@ -580,11 +637,19 @@ func (s *Store) Rounds() int {
 // Dir returns the data directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Stats returns a snapshot of the store's counters.
+// Stats returns a snapshot of the store's counters: recovery numbers
+// from the last Open, operational numbers since Open.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		RecoveredRounds:  int(s.cnt.recoveredRounds.Load()),
+		RecoveredRecords: int(s.cnt.recoveredRecords.Load()),
+		TruncatedBytes:   s.cnt.truncatedBytes.Load(),
+		DroppedRecords:   int(s.cnt.droppedRecords.Load()),
+		Appends:          int(s.cnt.appends.Load() - s.base.appends),
+		Rotations:        int(s.cnt.rotations.Load() - s.base.rotations),
+		WriteErrors:      int(s.cnt.writeErrors.Load() - s.base.writeErrors),
+		SyncErrors:       int(s.cnt.syncErrors.Load() - s.base.syncErrors),
+	}
 }
 
 // Close syncs and closes the active segment. Further writes fail with

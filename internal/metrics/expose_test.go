@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the Prometheus text format byte-for-byte:
+// HELP/TYPE headers once per family, samples sorted by (base, labels),
+// histograms expanded into cumulative _bucket/_sum/_count series.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("algorand_txflow_admitted_total", "transactions admitted").Add(42)
+	r.Counter(Name("algorand_realnet_frames_out_total", "peer", "0"), "frames sent per peer").Add(7)
+	r.Counter(Name("algorand_realnet_frames_out_total", "peer", "1"), "frames sent per peer").Add(9)
+	r.Gauge("algorand_txflow_pending", "pending transactions").Set(3)
+	r.GaugeFunc("algorand_node_round", "current round", func() float64 { return 12 })
+	h := r.Histogram("algorand_node_round_seconds", "round latency", []float64{0.5, 1, 2})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP algorand_node_round current round
+# TYPE algorand_node_round gauge
+algorand_node_round 12
+# HELP algorand_node_round_seconds round latency
+# TYPE algorand_node_round_seconds histogram
+algorand_node_round_seconds_bucket{le="0.5"} 1
+algorand_node_round_seconds_bucket{le="1"} 2
+algorand_node_round_seconds_bucket{le="2"} 2
+algorand_node_round_seconds_bucket{le="+Inf"} 3
+algorand_node_round_seconds_sum 6
+algorand_node_round_seconds_count 3
+# HELP algorand_realnet_frames_out_total frames sent per peer
+# TYPE algorand_realnet_frames_out_total counter
+algorand_realnet_frames_out_total{peer="0"} 7
+algorand_realnet_frames_out_total{peer="1"} 9
+# HELP algorand_txflow_admitted_total transactions admitted
+# TYPE algorand_txflow_admitted_total counter
+algorand_txflow_admitted_total 42
+# HELP algorand_txflow_pending pending transactions
+# TYPE algorand_txflow_pending gauge
+algorand_txflow_pending 3
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramLabeledSeries pins the label-splicing of histogram
+// sub-series: the le label joins any existing constant labels.
+func TestHistogramLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(Name("x_seconds", "phase", "commit"), "", []float64{1})
+	h.Observe(0.5)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`x_seconds_bucket{phase="commit",le="1"} 1`,
+		`x_seconds_bucket{phase="commit",le="+Inf"} 1`,
+		`x_seconds_sum{phase="commit"} 0.5`,
+		`x_seconds_count{phase="commit"} 1`,
+	} {
+		if !strings.Contains(b.String(), want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(5)
+	r.Histogram("h_seconds", "", []float64{1, 2}).Observe(1.5)
+	snap := r.Snapshot()
+
+	if v := snap["c_total"]; v.Kind != "counter" || v.Value != 5 {
+		t.Fatalf("counter snapshot = %+v", v)
+	}
+	hv := snap["h_seconds"]
+	if hv.Kind != "histogram" || hv.Count != 1 || hv.Sum != 1.5 {
+		t.Fatalf("histogram snapshot = %+v", hv)
+	}
+	if hv.Q["p50"] < 1 || hv.Q["p50"] > 2 {
+		t.Fatalf("histogram p50 = %v, want within (1,2]", hv.Q["p50"])
+	}
+
+	// The snapshot must round-trip as JSON (BENCH artifacts embed it).
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["c_total"].Value != 5 {
+		t.Fatalf("round-trip lost counter: %+v", back["c_total"])
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "requests served").Add(1)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "served_total 1\n") {
+		t.Fatalf("body missing sample:\n%s", body)
+	}
+}
+
+func TestNameRendering(t *testing.T) {
+	if got := Name("x_total"); got != "x_total" {
+		t.Fatalf("Name no labels = %q", got)
+	}
+	if got := Name("x_total", "a", "1", "b", "two"); got != `x_total{a="1",b="two"}` {
+		t.Fatalf("Name = %q", got)
+	}
+}

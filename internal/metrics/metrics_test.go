@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("x_total", "a counter"); again != c {
+		t.Fatal("re-registering a counter must return the same instance")
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as gauge after counter should panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in the (1,2] bucket
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-150) > 1e-9 {
+		t.Fatalf("sum = %v, want 150", got)
+	}
+	// Every observation in (1,2]: quantiles interpolate inside it.
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		if v := h.Quantile(q); v < 1 || v > 2 {
+			t.Fatalf("Quantile(%v) = %v, want within (1,2]", q, v)
+		}
+	}
+	// Median should sit near the middle of the bucket.
+	if med := h.Quantile(0.5); math.Abs(med-1.5) > 0.51 {
+		t.Fatalf("median = %v, want ≈1.5", med)
+	}
+
+	// Overflow bucket clamps to the top finite bound.
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(100)
+	if v := h2.Quantile(0.5); v != 2 {
+		t.Fatalf("overflow quantile = %v, want 2 (clamped)", v)
+	}
+
+	// Empty histogram.
+	if v := NewHistogram([]float64{1}).Quantile(0.5); v != 0 {
+		t.Fatalf("empty quantile = %v, want 0", v)
+	}
+}
+
+func TestHistogramDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", nil)
+	h.ObserveDuration(10 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-0.010) > 1e-9 {
+		t.Fatalf("sum = %v, want 0.010", got)
+	}
+}
+
+// TestConcurrentHammer updates counters, gauges and histograms from many
+// goroutines while snapshots and expositions run concurrently; run under
+// -race, it is the satellite's concurrency check, and the final counts
+// double as a lost-update check.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "")
+	g := r.Gauge("hammer_gauge", "")
+	h := r.Histogram("hammer_seconds", "", []float64{0.001, 0.01, 0.1, 1})
+	r.GaugeFunc("hammer_fn", "", func() float64 { return float64(c.Load()) })
+
+	const (
+		workers = 16
+		perW    = 10000
+	)
+	var readers, writers sync.WaitGroup
+	stop := make(chan struct{})
+	// Snapshot/exposition readers racing the writers.
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = r.Snapshot()
+				var b strings.Builder
+				if err := r.WriteText(&b); err != nil {
+					t.Errorf("WriteText: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 1000)
+				// Late registration racing exposition must also be safe.
+				if i%1000 == 0 {
+					r.Counter(Name("late_total", "w", "x"), "").Inc()
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := c.Load(); got != workers*perW {
+		t.Fatalf("counter lost updates: %d, want %d", got, workers*perW)
+	}
+	if got := g.Load(); got != workers*perW {
+		t.Fatalf("gauge lost updates: %d, want %d", got, workers*perW)
+	}
+	if got := h.Count(); got != workers*perW {
+		t.Fatalf("histogram lost observations: %d, want %d", got, workers*perW)
+	}
+}

@@ -1,0 +1,303 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind discriminates what a registry entry holds.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindGaugeFunc
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge, KindGaugeFunc:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// entry is one registered metric.
+type entry struct {
+	name string // full name including rendered labels
+	base string // name with labels stripped (exposition grouping)
+	help string
+	kind Kind
+
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// Registry is a named collection of metrics. All methods are safe for
+// concurrent use; the registration methods are idempotent (registering
+// the same name twice returns the existing metric), so restart paths
+// that rebuild a subsystem against the same registry keep accumulating
+// into the same series.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// Name renders a metric name with constant labels in Prometheus form:
+// Name("x_total", "peer", "3") → `x_total{peer="3"}`. Pairs are emitted
+// in the order given.
+func Name(base string, labelPairs ...string) string {
+	if len(labelPairs) == 0 {
+		return base
+	}
+	if len(labelPairs)%2 != 0 {
+		panic("metrics: Name requires key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i < len(labelPairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labelPairs[i], labelPairs[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// baseOf strips a rendered label set off a full metric name.
+func baseOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// register installs e if name is free, or returns the existing entry.
+// Kind mismatches are programming errors and panic.
+func (r *Registry) register(name string, kind Kind, mk func() *entry) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: %s re-registered as %v (was %v)", name, kind, e.kind))
+		}
+		return e
+	}
+	e := mk()
+	r.entries[name] = e
+	return e
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. name may carry rendered labels (see Name).
+func (r *Registry) Counter(name, help string) *Counter {
+	e := r.register(name, KindCounter, func() *entry {
+		return &entry{name: name, base: baseOf(name), help: help, kind: KindCounter, counter: &Counter{}}
+	})
+	return e.counter
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	e := r.register(name, KindGauge, func() *entry {
+		return &entry{name: name, base: baseOf(name), help: help, kind: KindGauge, gauge: &Gauge{}}
+	})
+	return e.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by f at snapshot
+// and exposition time — for occupancy numbers a subsystem already
+// maintains (queue depths, cache sizes). f must be safe to call from
+// any goroutine. Re-registering the same name replaces the function
+// (restart paths rebuild their closures over fresh state).
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != KindGaugeFunc {
+			panic(fmt.Sprintf("metrics: %s re-registered as gauge func (was %v)", name, e.kind))
+		}
+		e.gaugeFn = f
+		return
+	}
+	r.entries[name] = &entry{name: name, base: baseOf(name), help: help, kind: KindGaugeFunc, gaugeFn: f}
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket bounds if needed (nil bounds = DurationBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	e := r.register(name, KindHistogram, func() *entry {
+		if bounds == nil {
+			bounds = DurationBuckets()
+		}
+		return &entry{name: name, base: baseOf(name), help: help, kind: KindHistogram, hist: NewHistogram(bounds)}
+	})
+	return e.hist
+}
+
+// sorted returns the entries ordered by (base, full name) for
+// deterministic exposition and snapshots.
+func (r *Registry) sorted() []*entry {
+	r.mu.Lock()
+	out := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].base != out[j].base {
+			return out[i].base < out[j].base
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// WriteText writes the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP and # TYPE headers per metric family,
+// then one sample line per series, histograms expanded into
+// _bucket/_sum/_count.
+func (r *Registry) WriteText(w io.Writer) error {
+	var lastBase string
+	for _, e := range r.sorted() {
+		if e.base != lastBase {
+			lastBase = e.base
+			if e.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.base, e.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.base, e.kind); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch e.kind {
+		case KindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.counter.Load())
+		case KindGauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.gauge.Load())
+		case KindGaugeFunc:
+			_, err = fmt.Fprintf(w, "%s %v\n", e.name, e.gaugeFn())
+		case KindHistogram:
+			err = writeHistogramText(w, e)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogramText expands one histogram entry into bucket lines.
+func writeHistogramText(w io.Writer, e *entry) error {
+	h := e.hist
+	counts := h.bucketCounts()
+	var cum uint64
+	for i, n := range counts {
+		cum += n
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = fmt.Sprintf("%v", h.bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", histSeries(e.name, "_bucket", "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %v\n", histSeries(e.name, "_sum"), h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", histSeries(e.name, "_count"), h.Count())
+	return err
+}
+
+// histSeries derives a histogram sub-series name, splicing suffix (and
+// an optional extra label) into a possibly-labeled metric name:
+// histSeries(`x{a="1"}`, "_bucket", "le", "5") → `x_bucket{a="1",le="5"}`.
+func histSeries(name, suffix string, labelKV ...string) string {
+	base, labels := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base, labels = name[:i], name[i+1:len(name)-1]
+	}
+	if len(labelKV) == 2 {
+		extra := fmt.Sprintf("%s=%q", labelKV[0], labelKV[1])
+		if labels != "" {
+			labels += "," + extra
+		} else {
+			labels = extra
+		}
+	}
+	if labels == "" {
+		return base + suffix
+	}
+	return base + suffix + "{" + labels + "}"
+}
+
+// Value is one metric's state in a Snapshot.
+type Value struct {
+	Kind string `json:"kind"`
+	// Value holds counter and gauge readings.
+	Value float64 `json:"value,omitempty"`
+	// Histogram summary.
+	Count uint64             `json:"count,omitempty"`
+	Sum   float64            `json:"sum,omitempty"`
+	Q     map[string]float64 `json:"quantiles,omitempty"`
+}
+
+// Snapshot is a point-in-time JSON-able view of a registry.
+type Snapshot map[string]Value
+
+// Snapshot captures every metric's current value. Histograms are
+// summarized as count/sum plus p50/p90/p99 estimates.
+func (r *Registry) Snapshot() Snapshot {
+	out := make(Snapshot, len(r.entries))
+	for _, e := range r.sorted() {
+		switch e.kind {
+		case KindCounter:
+			out[e.name] = Value{Kind: "counter", Value: float64(e.counter.Load())}
+		case KindGauge:
+			out[e.name] = Value{Kind: "gauge", Value: float64(e.gauge.Load())}
+		case KindGaugeFunc:
+			out[e.name] = Value{Kind: "gauge", Value: e.gaugeFn()}
+		case KindHistogram:
+			out[e.name] = Value{
+				Kind:  "histogram",
+				Count: e.hist.Count(),
+				Sum:   e.hist.Sum(),
+				Q: map[string]float64{
+					"p50": e.hist.Quantile(0.50),
+					"p90": e.hist.Quantile(0.90),
+					"p99": e.hist.Quantile(0.99),
+				},
+			}
+		}
+	}
+	return out
+}
+
+// Handler returns an http.Handler serving the text exposition format —
+// what cmd/algorand-node mounts on -metrics-addr.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

@@ -96,9 +96,9 @@ func lossTrace(t *testing.T, seed int64) []bool {
 	nw.SetHandler(1, HandlerFunc(func(from int, m Message) Verdict { return Verdict{} }))
 	sim.Spawn("o", func(p *vtime.Proc) {
 		for i := 0; i < sends; i++ {
-			before := nw.TotalLost
+			before := nw.TotalLost()
 			nw.Unicast(0, 1, directMsg(string(rune('a'+i%26))+string(rune('0'+i/26)), 100))
-			delivered[i] = nw.TotalLost == before
+			delivered[i] = nw.TotalLost() == before
 			p.Sleep(time.Second)
 		}
 	})
@@ -231,8 +231,8 @@ func TestLinkFaultWindowAndMatch(t *testing.T) {
 	if got02 != 2 {
 		t.Fatalf("0->2 deliveries = %d, want 2 (unmatched link untouched)", got02)
 	}
-	if nw.TotalLost != 1 {
-		t.Fatalf("TotalLost = %d, want 1", nw.TotalLost)
+	if nw.TotalLost() != 1 {
+		t.Fatalf("TotalLost = %d, want 1", nw.TotalLost())
 	}
 	if nw.NodeStats(0).MsgsLost != 1 {
 		t.Fatalf("sender MsgsLost = %d, want 1", nw.NodeStats(0).MsgsLost)

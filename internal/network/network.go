@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"algorand/internal/crypto"
+	"algorand/internal/metrics"
 	"algorand/internal/vtime"
 )
 
@@ -91,6 +92,12 @@ type Config struct {
 	SeenTTL time.Duration
 	// Seed drives all of the network's randomness.
 	Seed int64
+	// Metrics receives the network's aggregate counters
+	// (algorand_net_*). Per-endpoint counters stay unregistered — at the
+	// paper's 500k-user scale, per-node registry series would dominate
+	// memory — and are read through NodeStats. Nil gets a private
+	// registry.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig matches the paper's evaluation setup.
@@ -149,13 +156,15 @@ type endpoint struct {
 	limitOld  map[string]int
 	cpuFree   time.Duration
 
-	// Stats
-	BytesSent     int64
-	BytesReceived int64
-	MsgsReceived  int64
-	DupsDropped   int64
-	MsgsLost      int64 // outgoing transfers dropped by link faults
-	CPUUsed       time.Duration
+	// Per-endpoint counters. Standalone metrics primitives, not
+	// registered anywhere: a registry series per endpoint would not
+	// scale to the paper's 500k users. NodeStats reads them.
+	bytesSent     metrics.Counter
+	bytesReceived metrics.Counter
+	msgsReceived  metrics.Counter
+	dupsDropped   metrics.Counter
+	msgsLost      metrics.Counter // outgoing transfers dropped by link faults
+	cpuUsedNs     metrics.Counter
 }
 
 // LinkFault is a scripted per-link impairment (chaos testing): matched
@@ -201,11 +210,12 @@ type Network struct {
 	// lastRotate is the virtual time of the last seen-cache rotation.
 	lastRotate time.Duration
 
-	// Global stats
-	TotalBytes int64
-	TotalMsgs  int64
-	// TotalLost counts transfers dropped by link faults (not partitions).
-	TotalLost int64
+	// Aggregate counters, registered under algorand_net_* (see
+	// Config.Metrics); read through TotalBytes/TotalMsgs/TotalLost.
+	totalBytes *metrics.Counter
+	totalMsgs  *metrics.Counter
+	totalLost  *metrics.Counter
+	totalDups  *metrics.Counter
 }
 
 // New creates a network of n nodes on sim. Handlers start nil; call
@@ -214,11 +224,20 @@ func New(sim *vtime.Sim, cfg Config, n int) *Network {
 	if cfg.Fanout <= 0 {
 		cfg.Fanout = 4
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	nw := &Network{
 		sim:     sim,
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		weights: make([]uint64, n),
+
+		totalBytes: reg.Counter("algorand_net_bytes_total", "bytes sent across the simulated network"),
+		totalMsgs:  reg.Counter("algorand_net_msgs_total", "first-copy messages delivered across the network"),
+		totalLost:  reg.Counter("algorand_net_lost_total", "transfers dropped by link faults (not partitions)"),
+		totalDups:  reg.Counter("algorand_net_dups_total", "deliveries suppressed as exact duplicates"),
 	}
 	var vmUp, vmDown *link
 	for i := 0; i < n; i++ {
@@ -484,8 +503,8 @@ func (nw *Network) send(from, to int, m Message) {
 	if len(nw.faults) > 0 {
 		drop, extra := nw.applyFaults(from, to, now)
 		if drop {
-			nw.eps[from].MsgsLost++
-			nw.TotalLost++
+			nw.eps[from].msgsLost.Inc()
+			nw.totalLost.Inc()
 			return
 		}
 		faultDelay = extra
@@ -493,8 +512,8 @@ func (nw *Network) send(from, to int, m Message) {
 	src, dst := nw.eps[from], nw.eps[to]
 	size := m.WireSize()
 
-	src.BytesSent += int64(size)
-	nw.TotalBytes += int64(size)
+	src.bytesSent.Add(uint64(size))
+	nw.totalBytes.Add(uint64(size))
 
 	upDone := src.up.transmit(now, size)
 	lat := CityLatency(src.city, dst.city)
@@ -517,14 +536,15 @@ func (nw *Network) send(from, to int, m Message) {
 func (nw *Network) deliver(from, to int, m Message) {
 	nw.maybeRotate()
 	ep := nw.eps[to]
-	ep.BytesReceived += int64(m.WireSize())
+	ep.bytesReceived.Add(uint64(m.WireSize()))
 	if ep.sawID(m.ID()) {
-		ep.DupsDropped++
+		ep.dupsDropped.Inc()
+		nw.totalDups.Inc()
 		return
 	}
 	ep.seen[m.ID()] = true
-	ep.MsgsReceived++
-	nw.TotalMsgs++
+	ep.msgsReceived.Inc()
+	nw.totalMsgs.Inc()
 
 	var verdict Verdict
 	if ep.handler != nil {
@@ -536,7 +556,7 @@ func (nw *Network) deliver(from, to int, m Message) {
 		busyFrom = ep.cpuFree
 	}
 	ep.cpuFree = busyFrom + verdict.CPU
-	ep.CPUUsed += verdict.CPU
+	ep.cpuUsedNs.Add(uint64(verdict.CPU))
 
 	if !verdict.Relay {
 		return
@@ -576,14 +596,24 @@ type Stats struct {
 func (nw *Network) NodeStats(id int) Stats {
 	ep := nw.eps[id]
 	return Stats{
-		BytesSent:     ep.BytesSent,
-		BytesReceived: ep.BytesReceived,
-		MsgsReceived:  ep.MsgsReceived,
-		DupsDropped:   ep.DupsDropped,
-		MsgsLost:      ep.MsgsLost,
-		CPUUsed:       ep.CPUUsed,
+		BytesSent:     int64(ep.bytesSent.Load()),
+		BytesReceived: int64(ep.bytesReceived.Load()),
+		MsgsReceived:  int64(ep.msgsReceived.Load()),
+		DupsDropped:   int64(ep.dupsDropped.Load()),
+		MsgsLost:      int64(ep.msgsLost.Load()),
+		CPUUsed:       time.Duration(ep.cpuUsedNs.Load()),
 	}
 }
+
+// TotalBytes is the aggregate of bytes sent across the whole network.
+func (nw *Network) TotalBytes() int64 { return int64(nw.totalBytes.Load()) }
+
+// TotalMsgs is the aggregate count of first-copy deliveries.
+func (nw *Network) TotalMsgs() int64 { return int64(nw.totalMsgs.Load()) }
+
+// TotalLost is the aggregate count of transfers dropped by link faults
+// (not partitions).
+func (nw *Network) TotalLost() int64 { return int64(nw.totalLost.Load()) }
 
 // ResetSeen clears all duplicate-suppression state at once — the
 // forced version of what SeenTTL rotation does gradually.

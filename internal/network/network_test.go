@@ -384,7 +384,7 @@ func TestDeterminism(t *testing.T) {
 			nw.Gossip(3, msg("d2", 700))
 		})
 		sim.Run(time.Minute)
-		return nw.TotalBytes, sim.EventCount
+		return nw.TotalBytes(), sim.EventCount
 	}
 	b1, e1 := run()
 	b2, e2 := run()
@@ -399,7 +399,7 @@ func TestStatsAccounting(t *testing.T) {
 	installRecorders(nw, 0)
 	sim.Spawn("o", func(p *vtime.Proc) { nw.Gossip(0, msg("s", 1000)) })
 	sim.Run(time.Minute)
-	if nw.TotalMsgs == 0 || nw.TotalBytes == 0 {
+	if nw.TotalMsgs() == 0 || nw.TotalBytes() == 0 {
 		t.Fatal("global stats empty")
 	}
 	st := nw.NodeStats(0)

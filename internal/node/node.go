@@ -16,9 +16,11 @@ import (
 	"algorand/internal/crypto"
 	"algorand/internal/ledger"
 	"algorand/internal/ledger/diskstore"
+	"algorand/internal/metrics"
 	"algorand/internal/network"
 	"algorand/internal/params"
 	"algorand/internal/sortition"
+	"algorand/internal/trace"
 	"algorand/internal/txflow"
 	"algorand/internal/vtime"
 )
@@ -123,6 +125,15 @@ type Config struct {
 	// describes ("the final step ... could be pipelined with the next
 	// round (although our prototype does not do so)").
 	PipelineFinalStep bool
+	// Metrics is the registry every subsystem under this node records
+	// into: BA⋆ step counters, round counters, the trace phase
+	// histograms, and (unless TxFlow.Metrics overrides it) the
+	// transaction pipeline. Nil gets a private registry.
+	Metrics *metrics.Registry
+	// Tracer records per-round phase spans (sortition → propose → BA⋆
+	// steps → certify → commit → persist) on the node's clock. Nil gets
+	// a tracer on the scheduler clock with the default ring size.
+	Tracer *trace.Tracer
 }
 
 // RoundStat records one round's timeline on this node, feeding the
@@ -155,9 +166,15 @@ type Node struct {
 	// store's rotate-and-retry — commits that are NOT durable. Atomic:
 	// the pipelined final-step process and tests read it concurrently.
 	persistErrors atomic.Int64
-	net           Transport
-	sim      *vtime.Sim
-	proc     *vtime.Proc
+	net    Transport
+	sim    *vtime.Sim
+	proc   *vtime.Proc
+	reg    *metrics.Registry
+	tracer *trace.Tracer
+	ba     *agreement.Metrics
+	// Round outcome counters (registry-backed views of Stats).
+	roundsTotal, roundsEmpty, roundsFinal *metrics.Counter
+	persistErrCounter                     *metrics.Counter
 
 	// Current consensus context, nil between rounds. The handler uses it
 	// to validate incoming messages.
@@ -255,6 +272,16 @@ func New(
 		// server) override Now with a wall clock in cmd/algorand-node.
 		cfg.TxFlow.Now = sim.Now
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.TxFlow.Metrics == nil {
+		cfg.TxFlow.Metrics = cfg.Metrics
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.New(sim.Now, 0)
+	}
+	cfg.Tracer.RegisterMetrics(cfg.Metrics)
 	shardCount := cfg.ShardCount
 	if shardCount == 0 {
 		shardCount = 1
@@ -278,10 +305,24 @@ func New(
 		requestedAt:   make(map[crypto.Digest]time.Duration),
 		finalCtxs:     make(map[uint64]*agreement.Context),
 		archive:       cfg.Archive,
+		reg:           cfg.Metrics,
+		tracer:        cfg.Tracer,
+		ba:            agreement.NewMetrics(cfg.Metrics),
 	}
+	n.roundsTotal = cfg.Metrics.Counter("algorand_node_rounds_total", "rounds this node completed")
+	n.roundsEmpty = cfg.Metrics.Counter("algorand_node_rounds_empty_total", "completed rounds that committed the empty block")
+	n.roundsFinal = cfg.Metrics.Counter("algorand_node_rounds_final_total", "completed rounds that reached final consensus")
+	n.persistErrCounter = cfg.Metrics.Counter("algorand_node_persist_errors_total", "archive writes that failed after retry")
 	net.SetHandler(id, network.HandlerFunc(n.handleMessage))
 	return n
 }
+
+// Metrics exposes the node's registry: every subsystem under the node
+// (BA⋆, txflow, tracing, round outcomes) records here.
+func (n *Node) Metrics() *metrics.Registry { return n.reg }
+
+// Tracer exposes the node's per-round phase tracer.
+func (n *Node) Tracer() *trace.Tracer { return n.tracer }
 
 // Ledger exposes the node's ledger (read-only use).
 func (n *Node) Ledger() *ledger.Ledger { return n.ledger }
@@ -306,6 +347,7 @@ func (n *Node) persistPut(b *ledger.Block, c *ledger.Certificate) {
 	if n.archive != nil {
 		if err := n.archive.Append(b, c); err != nil {
 			n.persistErrors.Add(1)
+			n.persistErrCounter.Inc()
 		}
 	}
 }
@@ -317,6 +359,7 @@ func (n *Node) persistReconcile(b *ledger.Block, c *ledger.Certificate) {
 	if n.archive != nil {
 		if err := n.archive.Reconcile(b, c); err != nil {
 			n.persistErrors.Add(1)
+			n.persistErrCounter.Inc()
 		}
 	}
 }
@@ -734,19 +777,26 @@ func (n *Node) gossipVote(v *ledger.Vote) {
 	}
 }
 
-// env builds the BA⋆ environment for the current process.
-func (n *Node) env() *agreement.Env {
-	return &agreement.Env{
+// env builds the BA⋆ environment for the current process, recording
+// each CountVotes call as a ba_step span of the given round.
+func (n *Node) env(round uint64) *agreement.Env {
+	e := &agreement.Env{
 		Proc:     n.proc,
 		Provider: n.provider,
 		Identity: n.identity,
 		Params:   n.cfg.Params,
 		Gossip:   n.gossipVote,
 		Inbox:    n.voteInbox,
-		StepTimer: func(step uint64, took time.Duration, timedOut bool) {
-			n.StepTimes = append(n.StepTimes, StepTime{Step: step, Took: took, TimedOut: timedOut})
-		},
+		Metrics:  n.ba,
 	}
+	e.StepTimer = func(step uint64, took time.Duration, timedOut bool) {
+		n.StepTimes = append(n.StepTimes, StepTime{Step: step, Took: took, TimedOut: timedOut})
+		// e.Proc, not n.proc: the pipelined final step runs this from a
+		// background process with its own clock handle.
+		end := e.Proc.Now()
+		n.tracer.Record(round, trace.PhaseBAStep, step, end-took, end)
+	}
+	return e
 }
 
 // Start spawns the node's main process, which runs rounds until
@@ -882,6 +932,7 @@ func (n *Node) runRound() error {
 
 	// --- Block proposal (§6).
 	n.proposeIfSelected(ctx)
+	n.tracer.Record(round, trace.PhaseSortition, 0, stat.Start, n.proc.Now())
 	wres := blockprop.WaitOpts(n.proc, n.propInbox(round),
 		n.cfg.Params.LambdaPriority, n.cfg.Params.LambdaStepVar, n.cfg.Params.LambdaBlock,
 		n.cfg.KeepFirstOnEquivocation)
@@ -895,12 +946,13 @@ func (n *Node) runRound() error {
 		}
 	}
 	stat.ProposalDone = n.proc.Now()
+	n.tracer.Record(round, trace.PhasePropose, 0, stat.Start, stat.ProposalDone)
 
 	// --- Agreement (§7).
 	if n.cfg.PipelineFinalStep {
 		return n.finishRoundPipelined(ctx, target, stat)
 	}
-	out, err := agreement.Run(n.env(), ctx, target.Hash())
+	out, err := agreement.Run(n.env(round), ctx, target.Hash())
 	if err != nil {
 		n.setContext(nil)
 		return err
@@ -908,6 +960,7 @@ func (n *Node) runRound() error {
 	stat.BinaryDone = out.BinaryDone
 	stat.BinarySteps = out.BinarySteps
 	stat.Final = out.Final
+	n.tracer.Record(round, trace.PhaseCertify, 0, out.BinaryDone, n.proc.Now())
 
 	// --- Resolve and commit.
 	block := n.resolveBlock(ctx, out.Value)
@@ -915,27 +968,45 @@ func (n *Node) runRound() error {
 	if out.FinalCert != nil {
 		cert = out.FinalCert
 	}
+	commitStart := n.proc.Now()
 	if err := n.ledger.Commit(block, cert); err != nil {
 		// Agreed on a block we cannot apply: treat like no-consensus so
 		// recovery reconciles us (should not happen in honest runs).
 		n.setContext(nil)
 		return fmt.Errorf("commit: %w", err)
 	}
+	n.tracer.Record(round, trace.PhaseCommit, 0, commitStart, n.proc.Now())
+	persistStart := n.proc.Now()
 	n.persistPut(block, cert)
+	n.tracer.Record(round, trace.PhasePersist, 0, persistStart, n.proc.Now())
 	n.flow.Committed(block, n.ledger.Balances())
 	stat.Empty = block.IsEmpty()
 	stat.Value = out.Value
 	stat.End = n.proc.Now()
 	n.Stats = append(n.Stats, stat)
+	n.recordRoundOutcome(round, stat)
 	n.setContext(nil)
 	return nil
+}
+
+// recordRoundOutcome closes a completed round's trace and bumps the
+// round outcome counters.
+func (n *Node) recordRoundOutcome(round uint64, stat RoundStat) {
+	n.tracer.Record(round, trace.PhaseRound, 0, stat.Start, stat.End)
+	n.roundsTotal.Inc()
+	if stat.Empty {
+		n.roundsEmpty.Inc()
+	}
+	if stat.Final {
+		n.roundsFinal.Inc()
+	}
 }
 
 // finishRoundPipelined commits after BinaryBA⋆ and runs the final
 // confirmation step in a background process, overlapped with the next
 // round (§10.2 pipelining).
 func (n *Node) finishRoundPipelined(ctx *agreement.Context, target *ledger.Block, stat RoundStat) error {
-	bres, err := agreement.RunWithoutFinal(n.env(), ctx, target.Hash())
+	bres, err := agreement.RunWithoutFinal(n.env(ctx.Round), ctx, target.Hash())
 	if err != nil {
 		n.setContext(nil)
 		return err
@@ -944,16 +1015,21 @@ func (n *Node) finishRoundPipelined(ctx *agreement.Context, target *ledger.Block
 	stat.BinarySteps = bres.Steps
 
 	block := n.resolveBlock(ctx, bres.Value)
+	commitStart := n.proc.Now()
 	if err := n.ledger.Commit(block, bres.Cert); err != nil {
 		n.setContext(nil)
 		return fmt.Errorf("commit: %w", err)
 	}
+	n.tracer.Record(ctx.Round, trace.PhaseCommit, 0, commitStart, n.proc.Now())
+	persistStart := n.proc.Now()
 	n.persistPut(block, bres.Cert)
+	n.tracer.Record(ctx.Round, trace.PhasePersist, 0, persistStart, n.proc.Now())
 	n.flow.Committed(block, n.ledger.Balances())
 	stat.Empty = block.IsEmpty()
 	stat.Value = bres.Value
 	stat.End = n.proc.Now()
 	n.Stats = append(n.Stats, stat)
+	n.recordRoundOutcome(ctx.Round, stat)
 	statIdx := len(n.Stats) - 1
 
 	// Keep accepting this round's final-step votes and count them in
@@ -961,14 +1037,17 @@ func (n *Node) finishRoundPipelined(ctx *agreement.Context, target *ledger.Block
 	n.finalCtxs[ctx.Round] = ctx
 	n.setContext(nil)
 	n.sim.Spawn(fmt.Sprintf("node-%d-final-%d", n.ID, ctx.Round), func(p *vtime.Proc) {
-		env := n.env()
+		env := n.env(ctx.Round)
 		env.Proc = p
+		certifyStart := p.Now()
 		cert := agreement.WaitFinal(env, ctx, bres.Value)
 		delete(n.finalCtxs, ctx.Round)
 		if cert == nil {
 			return
 		}
+		n.tracer.Record(ctx.Round, trace.PhaseCertify, 0, certifyStart, p.Now())
 		n.Stats[statIdx].Final = true
+		n.roundsFinal.Inc()
 		// Upgrade the ledger entry and the archive to final.
 		if err := n.ledger.Commit(block, cert); err == nil {
 			n.persistPut(block, cert)
@@ -1012,7 +1091,9 @@ func (n *Node) proposeIfSelected(ctx *agreement.Context) {
 func (n *Node) buildBlock(round uint64) *ledger.Block {
 	prevSeed := n.ledger.PrevSeed()
 	out, proof := n.identity.VRFProve(ledger.SeedAlpha(prevSeed, round))
+	assembleStart := n.tracer.Now()
 	txs := n.flow.Assemble(n.ledger.Balances(), n.cfg.Params.BlockSize)
+	n.tracer.Record(round, trace.PhaseAssemble, 0, assembleStart, n.tracer.Now())
 	b := &ledger.Block{
 		Round:     round,
 		PrevHash:  n.ledger.HeadHash(),

@@ -190,7 +190,7 @@ func (n *Node) recoverOnce(checkpoint, attempt uint64) bool {
 		value = bestBlk.Hash()
 	}
 
-	out, err := agreement.Run(n.env(), ctx, value)
+	out, err := agreement.Run(n.env(recRound), ctx, value)
 	if DebugRecovery != nil {
 		DebugRecovery(n.ID, recRound, value, out, err)
 	}

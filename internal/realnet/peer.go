@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
+	"algorand/internal/metrics"
 	"algorand/internal/wire"
 )
 
@@ -32,28 +34,56 @@ type peer struct {
 	queue       []frame
 	queuedBytes int
 	connected   bool
+	everDialed  bool
 
-	// outbound counters
-	drops        uint64 // frames dropped by the queue's drop-oldest policy
-	dials        uint64 // successful connects
-	redials      uint64 // successful connects after a previous connect
-	connectFails uint64 // failed dial attempts
-	framesOut    uint64
-	bytesOut     uint64
-	everDialed   bool
+	// Counters registered under algorand_realnet_*_total{peer="N"}.
+	// Address books are small (§9's address book file), so one series
+	// per peer is cheap; monotonic counts live in the registry while
+	// mutable state (score, queue, window) stays under p.mu.
+	c peerCounters
 
-	// inbound accounting and misbehavior scoring
-	framesIn    uint64
-	bytesIn     uint64
-	malformed   uint64
-	spoofed     uint64
-	rateAbuse   uint64
-	quarantines uint64
+	// misbehavior scoring
 	score       int
 	windowStart time.Time
 	windowCount int
 
 	quarantinedUntil time.Time
+}
+
+// peerCounters is one peer's registry-backed instrumentation.
+type peerCounters struct {
+	drops        *metrics.Counter // frames dropped by the queue's drop-oldest policy
+	dials        *metrics.Counter // successful connects
+	redials      *metrics.Counter // successful connects after a previous connect
+	connectFails *metrics.Counter // failed dial attempts
+	framesOut    *metrics.Counter
+	bytesOut     *metrics.Counter
+	framesIn     *metrics.Counter
+	bytesIn      *metrics.Counter
+	malformed    *metrics.Counter
+	spoofed      *metrics.Counter
+	rateAbuse    *metrics.Counter
+	quarantines  *metrics.Counter
+}
+
+func newPeerCounters(r *metrics.Registry, id int) peerCounters {
+	peerC := func(base, help string) *metrics.Counter {
+		return r.Counter(metrics.Name(base, "peer", strconv.Itoa(id)), help)
+	}
+	return peerCounters{
+		drops:        peerC("algorand_realnet_queue_drops_total", "frames dropped by the drop-oldest send queue"),
+		dials:        peerC("algorand_realnet_dials_total", "successful connects"),
+		redials:      peerC("algorand_realnet_redials_total", "successful connects after a previous connect"),
+		connectFails: peerC("algorand_realnet_connect_fails_total", "failed dial attempts"),
+		framesOut:    peerC("algorand_realnet_frames_out_total", "frames written"),
+		bytesOut:     peerC("algorand_realnet_bytes_out_total", "bytes written"),
+		framesIn:     peerC("algorand_realnet_frames_in_total", "frames received"),
+		bytesIn:      peerC("algorand_realnet_bytes_in_total", "bytes received"),
+		malformed:    peerC("algorand_realnet_malformed_total", "undecodable frames received"),
+		spoofed:      peerC("algorand_realnet_spoofed_total", "frames whose sender id contradicted the hello"),
+		rateAbuse:    peerC("algorand_realnet_rate_abuse_total", "frames shed over the per-peer rate budget"),
+		quarantines:  peerC("algorand_realnet_quarantines_total", "times the peer was quarantined"),
+	}
 }
 
 func newPeer(t *Transport, id int, addr string) *peer {
@@ -63,6 +93,7 @@ func newPeer(t *Transport, id int, addr string) *peer {
 		addr:  addr,
 		ready: make(chan struct{}, 1),
 		rng:   rand.New(rand.NewSource(t.cfg.Seed ^ int64(id)<<32 ^ int64(t.id))),
+		c:     newPeerCounters(t.reg, id),
 	}
 }
 
@@ -91,7 +122,7 @@ func (p *peer) pushFront(f frame) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if cap := p.t.cfg.QueueCap; cap > 0 && len(p.queue) >= cap {
-		p.drops++
+		p.c.drops.Inc()
 		return
 	}
 	p.queue = append([]frame{f}, p.queue...)
@@ -106,7 +137,7 @@ func (p *peer) trimLocked() {
 		((maxN > 0 && len(p.queue) > maxN) || (maxB > 0 && p.queuedBytes > maxB)) {
 		p.queuedBytes -= len(p.queue[0].payload)
 		p.queue = append(p.queue[:0], p.queue[1:]...)
-		p.drops++
+		p.c.drops.Inc()
 	}
 }
 
@@ -265,10 +296,8 @@ func (p *peer) writeFrame(c net.Conn, w *bufio.Writer, f frame) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	p.mu.Lock()
-	p.framesOut++
-	p.bytesOut += uint64(5 + len(f.payload))
-	p.mu.Unlock()
+	p.c.framesOut.Inc()
+	p.c.bytesOut.Add(uint64(5 + len(f.payload)))
 	return nil
 }
 
@@ -280,9 +309,9 @@ func (p *peer) setConnected(v bool) {
 
 func (p *peer) noteDial() {
 	p.mu.Lock()
-	p.dials++
+	p.c.dials.Inc()
 	if p.everDialed {
-		p.redials++
+		p.c.redials.Inc()
 	}
 	p.everDialed = true
 	p.mu.Unlock()
@@ -290,7 +319,7 @@ func (p *peer) noteDial() {
 
 func (p *peer) noteConnectFail() {
 	p.mu.Lock()
-	p.connectFails++
+	p.c.connectFails.Inc()
 	p.everDialed = true
 	p.mu.Unlock()
 }
@@ -302,8 +331,8 @@ func (p *peer) noteConnectFail() {
 // score the peer.
 func (p *peer) noteFrame(bytes int, now time.Time) bool {
 	p.mu.Lock()
-	p.framesIn++
-	p.bytesIn += uint64(bytes)
+	p.c.framesIn.Inc()
+	p.c.bytesIn.Add(uint64(bytes))
 	ok := true
 	if lim := p.t.cfg.RateLimit; lim > 0 {
 		if now.Sub(p.windowStart) > p.t.cfg.RateWindow {
@@ -312,7 +341,7 @@ func (p *peer) noteFrame(bytes int, now time.Time) bool {
 		}
 		p.windowCount++
 		if p.windowCount > lim {
-			p.rateAbuse++
+			p.c.rateAbuse.Inc()
 			ok = false
 		}
 	}
@@ -329,10 +358,10 @@ func (p *peer) noteFrame(bytes int, now time.Time) bool {
 
 // offend records a misbehavior observation (counter tracks the kind)
 // and quarantines the peer when the score crosses the threshold.
-func (p *peer) offend(pts int, counter *uint64) {
+func (p *peer) offend(pts int, counter *metrics.Counter) {
 	now := time.Now()
+	counter.Inc()
 	p.mu.Lock()
-	*counter++
 	quarantined := p.offendLocked(pts, now)
 	p.mu.Unlock()
 	if quarantined {
@@ -351,7 +380,7 @@ func (p *peer) offendLocked(pts int, now time.Time) bool {
 	if th := p.t.cfg.QuarantineThreshold; th > 0 && p.score >= th {
 		p.quarantinedUntil = now.Add(p.t.cfg.QuarantineDuration)
 		p.score = 0
-		p.quarantines++
+		p.c.quarantines.Inc()
 		return true
 	}
 	return false

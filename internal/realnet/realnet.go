@@ -49,7 +49,9 @@ import (
 	"sync"
 	"time"
 
+	"algorand/internal/cache"
 	"algorand/internal/crypto"
+	"algorand/internal/metrics"
 	"algorand/internal/network"
 	nodepkg "algorand/internal/node"
 	"algorand/internal/vtime"
@@ -135,6 +137,11 @@ type Config struct {
 
 	// Seed drives the backoff jitter.
 	Seed int64
+
+	// Metrics receives the transport's counters and gauges
+	// (algorand_realnet_*, per-peer series labeled peer="N"). Nil gets a
+	// private registry, so Stats() works standalone.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns production-leaning defaults.
@@ -177,14 +184,20 @@ type Transport struct {
 	// inbound maps accepted connections to the peer id their hello
 	// claimed (-1 before the handshake). Entries are reaped when the
 	// read loop exits, so the registry tracks live connections only.
-	inbound         map[net.Conn]int
-	inboundRejected uint64
+	inbound map[net.Conn]int
 	// Generational duplicate-suppression and relay-limit caches; see
-	// Config.SeenTTL. Lookups consult both generations.
-	seen, seenOld   map[crypto.Digest]bool
-	limit, limitOld map[string]int
-	lastRotate      time.Time
-	quarantineDrops uint64
+	// Config.SeenTTL. Lookups consult both generations. Both run on
+	// wall time relative to epoch.
+	seen  *cache.TwoGen[crypto.Digest, struct{}]
+	limit *cache.TwoGen[string, int]
+	epoch time.Time
+
+	// Transport-wide counters, registered under algorand_realnet_*.
+	inboundRejected *metrics.Counter
+	quarantineDrops *metrics.Counter
+	dupDropped      *metrics.Counter
+	relayLimited    *metrics.Counter
+	reg             *metrics.Registry
 
 	closed  chan struct{}
 	wg      sync.WaitGroup
@@ -212,6 +225,10 @@ func NewWithListener(sim *vtime.Sim, id int, addrs []string, ln net.Listener) *T
 // NewWithConfig is NewWithListener with explicit tuning.
 func NewWithConfig(sim *vtime.Sim, id int, addrs []string, ln net.Listener, cfg Config) *Transport {
 	ctx, cancel := context.WithCancel(context.Background())
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	t := &Transport{
 		id:         id,
 		sim:        sim,
@@ -222,11 +239,27 @@ func NewWithConfig(sim *vtime.Sim, id int, addrs []string, ln net.Listener, cfg 
 		cancelDial: cancel,
 		peers:      make(map[int]*peer),
 		inbound:    make(map[net.Conn]int),
-		seen:       make(map[crypto.Digest]bool),
-		limit:      make(map[string]int),
-		lastRotate: time.Now(),
+		seen:       cache.New[crypto.Digest, struct{}](cfg.SeenTTL),
+		limit:      cache.New[string, int](cfg.SeenTTL),
+		epoch:      time.Now(),
+		reg:        reg,
 		closed:     make(chan struct{}),
+
+		inboundRejected: reg.Counter("algorand_realnet_inbound_rejected_total", "inbound connections refused at the MaxInbound cap"),
+		quarantineDrops: reg.Counter("algorand_realnet_quarantine_drops_total", "frames and connections refused due to peer quarantine"),
+		dupDropped:      reg.Counter("algorand_realnet_dup_dropped_total", "gossip messages suppressed as exact duplicates"),
+		relayLimited:    reg.Counter("algorand_realnet_relay_limited_total", "relays suppressed by per-(sender,round,step) limits"),
 	}
+	reg.GaugeFunc("algorand_realnet_seen_entries", "live entries in the duplicate-suppression cache",
+		func() float64 { return float64(t.seen.Len()) })
+	reg.GaugeFunc("algorand_realnet_limit_entries", "live entries in the relay-limit cache",
+		func() float64 { return float64(t.limit.Len()) })
+	reg.GaugeFunc("algorand_realnet_inbound_conns", "live accepted inbound connections",
+		func() float64 {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			return float64(len(t.inbound))
+		})
 	for i := range t.addrs {
 		if i != id {
 			t.peers[i] = newPeer(t, i, t.addrs[i])
@@ -234,6 +267,10 @@ func NewWithConfig(sim *vtime.Sim, id int, addrs []string, ln net.Listener, cfg 
 	}
 	return t
 }
+
+// cacheNow is the suppression caches' clock: wall time since the
+// transport was built.
+func (t *Transport) cacheNow() time.Duration { return time.Since(t.epoch) }
 
 // Addr returns the listen address.
 func (t *Transport) Addr() string { return t.ln.Addr().String() }
@@ -327,7 +364,7 @@ func (t *Transport) acceptLoop() {
 		}
 		t.mu.Lock()
 		if t.cfg.MaxInbound > 0 && len(t.inbound) >= t.cfg.MaxInbound {
-			t.inboundRejected++
+			t.inboundRejected.Inc()
 			t.mu.Unlock()
 			c.Close()
 			continue
@@ -357,7 +394,7 @@ func (t *Transport) bindInbound(c net.Conn, id int) bool {
 	default:
 	}
 	if p := t.peers[id]; p == nil || p.isQuarantined(time.Now()) {
-		t.quarantineDrops++
+		t.quarantineDrops.Inc()
 		return false
 	}
 	t.inbound[c] = id
@@ -431,12 +468,12 @@ func (t *Transport) readLoop(c net.Conn) {
 		}
 		from, msg, err := decodeFrame(tag, payload, len(t.addrs))
 		if err != nil {
-			p.offend(scoreMalformed, &p.malformed)
+			p.offend(scoreMalformed, p.c.malformed)
 			t.reportErr(fmt.Errorf("realnet: bad frame from peer %d (%s): %w", peerID, c.RemoteAddr(), err))
 			return
 		}
 		if from != peerID {
-			p.offend(scoreSpoofed, &p.spoofed)
+			p.offend(scoreSpoofed, p.c.spoofed)
 			t.reportErr(fmt.Errorf("realnet: peer %d spoofed sender id %d", peerID, from))
 			return
 		}
@@ -446,40 +483,24 @@ func (t *Transport) readLoop(c net.Conn) {
 	}
 }
 
-// maybeRotate ages the suppression caches once per SeenTTL of wall
-// time: the current generation becomes the old one and the previous old
-// generation is forgotten, giving entries a one-to-two-TTL lifetime.
-// Caller holds t.mu.
-func (t *Transport) maybeRotate() {
-	ttl := t.cfg.SeenTTL
-	if ttl <= 0 {
-		return
-	}
-	now := time.Now()
-	if now.Sub(t.lastRotate) < ttl {
-		return
-	}
-	t.lastRotate = now
-	t.seenOld, t.seen = t.seen, make(map[crypto.Digest]bool)
-	t.limitOld, t.limit = t.limit, make(map[string]int)
-}
-
 // deliver runs in scheduler context: dedup, handle, relay per verdict.
+// The suppression caches rotate themselves lazily on each access (see
+// internal/cache); entries live between one and two SeenTTLs.
 func (t *Transport) deliver(from int, m network.Message) {
 	if p := t.peers[from]; p != nil && p.isQuarantined(time.Now()) {
-		t.mu.Lock()
-		t.quarantineDrops++
-		t.mu.Unlock()
+		t.quarantineDrops.Inc()
 		return
 	}
-	t.mu.Lock()
-	t.maybeRotate()
-	if t.seen[m.ID()] || t.seenOld[m.ID()] {
-		t.mu.Unlock()
+	// Atomic check-and-mark across both cache generations: only the
+	// first delivery of a message id proceeds.
+	fresh := t.seen.Update(m.ID(), t.cacheNow(),
+		func(_ struct{}, curOK bool, _ struct{}, prevOK bool) (struct{}, bool) {
+			return struct{}{}, !curOK && !prevOK
+		})
+	if !fresh {
+		t.dupDropped.Inc()
 		return
 	}
-	t.seen[m.ID()] = true
-	t.mu.Unlock()
 
 	var verdict network.Verdict
 	if t.handler != nil {
@@ -493,13 +514,17 @@ func (t *Transport) deliver(from int, m network.Message) {
 		if mr, ok := m.(network.MultiRelay); ok {
 			limit = mr.RelayLimit()
 		}
-		t.mu.Lock()
-		over := t.limit[k]+t.limitOld[k] >= limit
-		if !over {
-			t.limit[k]++
-		}
-		t.mu.Unlock()
-		if over {
+		// Count the relay against the key's budget iff it is still under
+		// the two-generation total; relay iff it was counted.
+		allowed := t.limit.Update(k, t.cacheNow(),
+			func(cur int, _ bool, prev int, _ bool) (int, bool) {
+				if cur+prev >= limit {
+					return cur, false
+				}
+				return cur + 1, true
+			})
+		if !allowed {
+			t.relayLimited.Inc()
 			return
 		}
 	}
@@ -513,13 +538,13 @@ func (t *Transport) deliver(from int, m network.Message) {
 
 // Gossip implements node.Transport.
 func (t *Transport) Gossip(origin int, m network.Message) {
-	t.mu.Lock()
-	t.maybeRotate()
-	t.seen[m.ID()] = true
+	now := t.cacheNow()
+	t.seen.Put(m.ID(), struct{}{}, now)
 	if k := m.LimitKey(); k != "" {
-		t.limit[k]++
+		t.limit.Update(k, now, func(cur int, _ bool, _ int, _ bool) (int, bool) {
+			return cur + 1, true
+		})
 	}
-	t.mu.Unlock()
 	for _, peer := range t.Neighbors(t.id) {
 		t.send(peer, m)
 	}

@@ -46,16 +46,18 @@ type Stats struct {
 	QuarantineDrops uint64 // frames/conns refused due to quarantine
 }
 
-// Stats snapshots the transport. Safe from any goroutine.
+// Stats snapshots the transport — a typed view over the registry-backed
+// counters plus the mutable per-peer state (queues, scores, quarantine
+// clocks) the registry does not hold. Safe from any goroutine.
 func (t *Transport) Stats() Stats {
 	now := time.Now()
 	t.mu.Lock()
 	s := Stats{
-		SeenEntries:     len(t.seen) + len(t.seenOld),
-		LimitEntries:    len(t.limit) + len(t.limitOld),
+		SeenEntries:     t.seen.Len(),
+		LimitEntries:    t.limit.Len(),
 		InboundConns:    len(t.inbound),
-		InboundRejected: t.inboundRejected,
-		QuarantineDrops: t.quarantineDrops,
+		InboundRejected: t.inboundRejected.Load(),
+		QuarantineDrops: t.quarantineDrops.Load(),
 	}
 	peers := make([]*peer, 0, len(t.peers))
 	for _, p := range t.peers {
@@ -70,20 +72,20 @@ func (t *Transport) Stats() Stats {
 			Connected:    p.connected,
 			QueueDepth:   len(p.queue),
 			QueueBytes:   p.queuedBytes,
-			QueueDrops:   p.drops,
-			Dials:        p.dials,
-			Redials:      p.redials,
-			ConnectFails: p.connectFails,
-			FramesOut:    p.framesOut,
-			BytesOut:     p.bytesOut,
-			FramesIn:     p.framesIn,
-			BytesIn:      p.bytesIn,
-			Malformed:    p.malformed,
-			Spoofed:      p.spoofed,
-			RateAbuse:    p.rateAbuse,
+			QueueDrops:   p.c.drops.Load(),
+			Dials:        p.c.dials.Load(),
+			Redials:      p.c.redials.Load(),
+			ConnectFails: p.c.connectFails.Load(),
+			FramesOut:    p.c.framesOut.Load(),
+			BytesOut:     p.c.bytesOut.Load(),
+			FramesIn:     p.c.framesIn.Load(),
+			BytesIn:      p.c.bytesIn.Load(),
+			Malformed:    p.c.malformed.Load(),
+			Spoofed:      p.c.spoofed.Load(),
+			RateAbuse:    p.c.rateAbuse.Load(),
 			Score:        p.score,
 			Quarantined:  now.Before(p.quarantinedUntil),
-			Quarantines:  p.quarantines,
+			Quarantines:  p.c.quarantines.Load(),
 		})
 		p.mu.Unlock()
 	}

@@ -15,9 +15,11 @@ import (
 	"algorand/internal/diskfault"
 	"algorand/internal/ledger"
 	"algorand/internal/ledger/diskstore"
+	"algorand/internal/metrics"
 	"algorand/internal/network"
 	"algorand/internal/node"
 	"algorand/internal/params"
+	"algorand/internal/trace"
 	"algorand/internal/txflow"
 	"algorand/internal/vtime"
 )
@@ -120,7 +122,19 @@ type Cluster struct {
 	Seed0    crypto.Digest
 	nodeCfg  node.Config
 	archives []*diskstore.Store
+	// Per-node observability: every node gets its own metrics registry
+	// and round tracer (a restarted slot gets fresh ones, as a fresh
+	// process would). Access via Registry(i)/Tracer(i).
+	registries []*metrics.Registry
+	tracers    []*trace.Tracer
 }
+
+// Registry returns node i's metrics registry: the single place that
+// node's BA⋆, txflow, trace and round counters are recorded.
+func (c *Cluster) Registry(i int) *metrics.Registry { return c.registries[i] }
+
+// Tracer returns node i's per-round phase tracer.
+func (c *Cluster) Tracer(i int) *trace.Tracer { return c.tracers[i] }
 
 // NewCluster builds the deployment (without starting node processes).
 func NewCluster(cfg Config) *Cluster {
@@ -172,8 +186,10 @@ func NewCluster(cfg Config) *Cluster {
 		TxFlow:            cfg.TxFlow,
 	}
 	c.archives = make([]*diskstore.Store, cfg.N)
+	c.registries = make([]*metrics.Registry, cfg.N)
+	c.tracers = make([]*trace.Tracer, cfg.N)
 	for i := 0; i < cfg.N; i++ {
-		nodeCfg := c.nodeCfg
+		nodeCfg := c.instrumentedNodeCfg(i)
 		if cfg.DataDir != "" {
 			ds, err := diskstore.Open(c.nodeDataDir(i), c.archiveOptions(i))
 			if err != nil {
@@ -187,6 +203,19 @@ func NewCluster(cfg Config) *Cluster {
 		c.Nodes = append(c.Nodes, n)
 	}
 	return c
+}
+
+// instrumentedNodeCfg clones the cluster node config with a fresh
+// registry and tracer for slot i (also replacing any previous ones —
+// a restarted slot starts its observability from zero, like a fresh
+// process).
+func (c *Cluster) instrumentedNodeCfg(i int) node.Config {
+	nodeCfg := c.nodeCfg
+	c.registries[i] = metrics.NewRegistry()
+	c.tracers[i] = trace.New(c.Sim.Now, 0)
+	nodeCfg.Metrics = c.registries[i]
+	nodeCfg.Tracer = c.tracers[i]
+	return nodeCfg
 }
 
 // nodeDataDir is node i's archive directory under Config.DataDir.
@@ -271,7 +300,7 @@ func (c *Cluster) restartWith(i int, src *ledger.Store, archive *diskstore.Store
 	if !old.Halted() {
 		old.Halt()
 	}
-	nodeCfg := c.nodeCfg
+	nodeCfg := c.instrumentedNodeCfg(i)
 	nodeCfg.Archive = archive
 	n := node.New(i, c.Sim, c.Net, c.Provider, c.ids[i], nodeCfg, c.Genesis, c.Seed0)
 	n.StopAfterRound = c.Cfg.Rounds

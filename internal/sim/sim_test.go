@@ -139,7 +139,7 @@ func TestDeterministicRuns(t *testing.T) {
 	run := func() (uint64, int64) {
 		c := NewCluster(DefaultConfig(20, 2))
 		c.Run()
-		return c.Sim.EventCount, c.Net.TotalBytes
+		return c.Sim.EventCount, c.Net.TotalBytes()
 	}
 	e1, b1 := run()
 	e2, b2 := run()
@@ -230,7 +230,7 @@ func TestPullGossipBoundsBlockTraffic(t *testing.T) {
 	if err := c.AgreementCheck(); err != nil {
 		t.Fatal(err)
 	}
-	perNode := float64(c.Net.TotalBytes) / float64(cfg.N) / float64(cfg.Rounds)
+	perNode := float64(c.Net.TotalBytes()) / float64(cfg.N) / float64(cfg.Rounds)
 	// Expect roughly one block download per node per round plus some
 	// proposer/loser overlap; 9 copies each would be ~9 MB.
 	if perNode > 4*float64(cfg.Params.BlockSize) {

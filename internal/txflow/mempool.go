@@ -111,7 +111,7 @@ func (f *Flow) insert(sh *shard, tx *ledger.Transaction, id crypto.Digest) error
 		old := q.txs[i]
 		q.txs[i] = entry{tx: tx, id: id}
 		f.bytes.Add(int64(tx.WireSize() - old.tx.WireSize()))
-		f.c.replaced.Add(1)
+		f.c.replaced.Inc()
 	} else {
 		q.txs = append(q.txs, entry{})
 		copy(q.txs[i+1:], q.txs[i:])
@@ -146,7 +146,7 @@ func (f *Flow) insert(sh *shard, tx *ledger.Transaction, id crypto.Digest) error
 			// pool is full and its fee too low.
 			return ErrPoolFull
 		}
-		f.c.evicted.Add(1)
+		f.c.evicted.Inc()
 	}
 	return nil
 }

@@ -2,48 +2,69 @@ package txflow
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
-	"time"
 
-	"algorand/internal/crypto"
+	"algorand/internal/metrics"
 )
 
-// counters is the pipeline's atomic instrumentation; Stats() snapshots
-// it.
+// counters is the pipeline's instrumentation, registered under
+// algorand_txflow_* in the node's metrics registry. Rejection reasons
+// share one family, split by a reason label, so an operator's first
+// query ("why is admission failing?") is one family wide.
 type counters struct {
-	admitted    atomic.Uint64
-	invalid     atomic.Uint64
-	badSig      atomic.Uint64
-	duplicate   atomic.Uint64
-	stale       atomic.Uint64
-	senderLimit atomic.Uint64
-	rateLimited atomic.Uint64
-	poolFull    atomic.Uint64
-	queueFull   atomic.Uint64
-	outboxDrop  atomic.Uint64
-	evicted     atomic.Uint64
-	replaced    atomic.Uint64
-	verified    atomic.Uint64
-	cacheHits   atomic.Uint64
+	admitted    *metrics.Counter
+	invalid     *metrics.Counter
+	badSig      *metrics.Counter
+	duplicate   *metrics.Counter
+	stale       *metrics.Counter
+	senderLimit *metrics.Counter
+	rateLimited *metrics.Counter
+	poolFull    *metrics.Counter
+	queueFull   *metrics.Counter
+	outboxDrop  *metrics.Counter
+	evicted     *metrics.Counter
+	replaced    *metrics.Counter
+	verified    *metrics.Counter
+}
+
+func newCounters(r *metrics.Registry) counters {
+	reject := func(reason string) *metrics.Counter {
+		return r.Counter(metrics.Name("algorand_txflow_rejected_total", "reason", reason),
+			"transactions rejected at admission by reason")
+	}
+	return counters{
+		admitted:    r.Counter("algorand_txflow_admitted_total", "transactions admitted to the mempool"),
+		invalid:     reject("invalid"),
+		badSig:      reject("bad_sig"),
+		duplicate:   reject("duplicate"),
+		stale:       reject("stale_nonce"),
+		senderLimit: reject("sender_limit"),
+		rateLimited: reject("rate_limited"),
+		poolFull:    reject("pool_full"),
+		queueFull:   r.Counter("algorand_txflow_queue_full_total", "gossip batches dropped because the async ingest queue was full"),
+		outboxDrop:  r.Counter("algorand_txflow_outbox_drop_total", "admitted transactions dropped from the gossip outbox"),
+		evicted:     r.Counter("algorand_txflow_evicted_total", "pending transactions evicted to admit higher-fee ones"),
+		replaced:    r.Counter("algorand_txflow_replaced_total", "pending transactions replaced by same-nonce higher-fee ones"),
+		verified:    r.Counter("algorand_txflow_verified_total", "signatures actually verified (cache misses)"),
+	}
 }
 
 // count attributes a rejection to its counter.
 func (c *counters) count(err error) {
 	switch err {
 	case ErrDuplicate:
-		c.duplicate.Add(1)
+		c.duplicate.Inc()
 	case ErrStaleNonce:
-		c.stale.Add(1)
+		c.stale.Inc()
 	case ErrSenderLimit:
-		c.senderLimit.Add(1)
+		c.senderLimit.Inc()
 	case ErrPoolFull:
-		c.poolFull.Add(1)
+		c.poolFull.Inc()
 	}
 }
 
-// Stats is a point-in-time snapshot of the pipeline, following the
-// same surfacing pattern as realnet's transport stats.
+// Stats is a point-in-time snapshot of the pipeline — a typed view
+// over the registry-backed counters, kept for programmatic consumers
+// (tests, experiments) that want fields rather than metric names.
 type Stats struct {
 	// Pending occupancy.
 	Pending      int
@@ -103,52 +124,6 @@ func (f *Flow) Stats() Stats {
 		Evicted:      f.c.evicted.Load(),
 		Replaced:     f.c.replaced.Load(),
 		Verified:     f.c.verified.Load(),
-		CacheHits:    f.c.cacheHits.Load(),
+		CacheHits:    f.cacheHits.Load(),
 	}
-}
-
-// digestCache remembers recently verified transaction digests for a
-// TTL, so every relayed copy of a transaction costs at most one
-// signature verification. Two generations rotate at TTL granularity
-// (the same scheme as the gossip seen-cache): entries live between TTL
-// and 2×TTL, and rotation is O(1).
-type digestCache struct {
-	mu        sync.Mutex
-	ttl       time.Duration
-	cur, prev map[crypto.Digest]struct{}
-	rotated   time.Duration
-}
-
-func newDigestCache(ttl time.Duration) *digestCache {
-	return &digestCache{
-		ttl: ttl,
-		cur: make(map[crypto.Digest]struct{}),
-	}
-}
-
-func (c *digestCache) rotateLocked(now time.Duration) {
-	if now-c.rotated < c.ttl {
-		return
-	}
-	c.prev = c.cur
-	c.cur = make(map[crypto.Digest]struct{})
-	c.rotated = now
-}
-
-func (c *digestCache) has(id crypto.Digest, now time.Duration) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.rotateLocked(now)
-	if _, ok := c.cur[id]; ok {
-		return true
-	}
-	_, ok := c.prev[id]
-	return ok
-}
-
-func (c *digestCache) add(id crypto.Digest, now time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.rotateLocked(now)
-	c.cur[id] = struct{}{}
 }

@@ -33,8 +33,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"algorand/internal/cache"
 	"algorand/internal/crypto"
 	"algorand/internal/ledger"
+	"algorand/internal/metrics"
 )
 
 // Rejection reasons returned by Submit/SubmitBatch. Each maps to a
@@ -94,6 +96,10 @@ type Config struct {
 	// get wall-clock time since construction. The function must be safe
 	// to call from any goroutine that calls into the Flow.
 	Now func() time.Duration
+	// Metrics receives the pipeline's counters and occupancy gauges
+	// (algorand_txflow_*). Nil gets a private registry, so standalone
+	// pipelines stay fully instrumented for Stats().
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -133,7 +139,10 @@ type Flow struct {
 	count atomic.Int64
 	bytes atomic.Int64
 
-	verified *digestCache
+	// verified remembers recently verified transaction digests for
+	// VerifiedTTL, so every relayed copy of a transaction costs at most
+	// one signature verification.
+	verified *cache.TwoGen[crypto.Digest, struct{}]
 
 	rateMu    sync.Mutex
 	rates     map[crypto.PublicKey]rateSlot
@@ -148,6 +157,9 @@ type Flow struct {
 	epoch time.Time
 
 	c counters
+	// cacheHits aliases the verified cache's instrumented hit counter
+	// for the Stats() view.
+	cacheHits *metrics.Counter
 
 	// Worker pool (Start/Close). queue carries gossip batches whose
 	// verification is offloaded from the scheduler goroutine.
@@ -175,7 +187,20 @@ func New(provider crypto.Provider, cfg Config) *Flow {
 	if f.cfg.Now == nil {
 		f.cfg.Now = func() time.Duration { return time.Since(f.epoch) }
 	}
-	f.verified = newDigestCache(cfg.VerifiedTTL)
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	f.c = newCounters(reg)
+	f.verified = cache.New[crypto.Digest, struct{}](cfg.VerifiedTTL)
+	f.verified.Instrument(reg, "algorand_txflow_verified_cache")
+	// Instrument registered the hit counter; registration is idempotent,
+	// so this fetches the same instance.
+	f.cacheHits = reg.Counter("algorand_txflow_verified_cache_hits_total", "")
+	reg.GaugeFunc("algorand_txflow_pending", "pending transactions in the mempool",
+		func() float64 { return float64(f.Len()) })
+	reg.GaugeFunc("algorand_txflow_pending_bytes", "encoded size of pending transactions",
+		func() float64 { return float64(f.PendingBytes()) })
 	for i := range f.shards {
 		f.shards[i] = newShard()
 	}
@@ -272,12 +297,12 @@ func (f *Flow) verifyParallel(txs []*ledger.Transaction) {
 			defer wg.Done()
 			for j := range jobs {
 				key := verifiedKey(j.tx)
-				if f.verified.has(key, f.cfg.Now()) {
+				if f.verified.Contains(key, f.cfg.Now()) {
 					continue
 				}
 				if j.tx.VerifySig(f.provider) {
-					f.c.verified.Add(1)
-					f.verified.add(key, f.cfg.Now())
+					f.c.verified.Inc()
+					f.verified.Put(key, struct{}{}, f.cfg.Now())
 				}
 			}
 		}()
@@ -309,7 +334,7 @@ func (f *Flow) EnqueueBatch(txs []ledger.Transaction) error {
 	case f.queue <- txs:
 		return nil
 	default:
-		f.c.queueFull.Add(1)
+		f.c.queueFull.Inc()
 		return ErrQueueFull
 	}
 }
@@ -334,7 +359,7 @@ func (f *Flow) ingest(tx *ledger.Transaction) ingestResult {
 
 	// Structural checks: reject garbage before touching crypto.
 	if tx.Amount == 0 || tx.Amount+tx.Fee < tx.Amount || len(tx.Sig) > 128 {
-		f.c.invalid.Add(1)
+		f.c.invalid.Inc()
 		return ingestResult{err: ErrInvalid}
 	}
 
@@ -350,7 +375,7 @@ func (f *Flow) ingest(tx *ledger.Transaction) ingestResult {
 
 	if f.cfg.RateLimit > 0 {
 		if !f.admitRate(tx.From, now) {
-			f.c.rateLimited.Add(1)
+			f.c.rateLimited.Inc()
 			return ingestResult{err: ErrRateLimited}
 		}
 	}
@@ -363,16 +388,15 @@ func (f *Flow) ingest(tx *ledger.Transaction) ingestResult {
 	id := tx.ID()
 	key := verifiedKey(tx)
 	sigChecked := false
-	if f.verified.has(key, now) {
-		f.c.cacheHits.Add(1)
-	} else {
+	// Contains counts the hit/miss in the cache's instrumented counters.
+	if !f.verified.Contains(key, now) {
 		sigChecked = true
 		if !tx.VerifySig(f.provider) {
-			f.c.badSig.Add(1)
+			f.c.badSig.Inc()
 			return ingestResult{err: ErrBadSig, sigChecked: true}
 		}
-		f.c.verified.Add(1)
-		f.verified.add(key, now)
+		f.c.verified.Inc()
+		f.verified.Put(key, struct{}{}, now)
 	}
 
 	// Insert, evicting the lowest-fee pending transaction if the pool
@@ -381,14 +405,14 @@ func (f *Flow) ingest(tx *ledger.Transaction) ingestResult {
 		f.c.count(err)
 		return ingestResult{err: err, sigChecked: sigChecked}
 	}
-	f.c.admitted.Add(1)
+	f.c.admitted.Inc()
 
 	// Stage for batched gossip.
 	f.outMu.Lock()
 	if len(f.outbox) < f.cfg.MaxTxs {
 		f.outbox = append(f.outbox, tx)
 	} else {
-		f.c.outboxDrop.Add(1)
+		f.c.outboxDrop.Inc()
 	}
 	f.outMu.Unlock()
 	return ingestResult{sigChecked: sigChecked}
