@@ -52,6 +52,9 @@ func CheckDurability(r *Result) []Violation {
 		if r.Byzantine[i] {
 			continue
 		}
+		if c.Archive(i) == nil {
+			continue // diskless node: nothing on disk to hold to account
+		}
 		ds, err := c.OpenArchiveOffline(i)
 		if err != nil {
 			vs = append(vs, Violation{Kind: "durability", Node: i,

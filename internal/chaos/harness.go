@@ -52,6 +52,15 @@ type Result struct {
 	// archive for Durable scenarios ("" otherwise). Call Cleanup when
 	// done with the Result to release it.
 	DataDir string
+	// Grind records the seed-grinding attackers' publish/withhold
+	// decisions (nil when the scenario has no grinders).
+	Grind *sim.GrindStats
+	// ChurnEvents counts crash/restart cycles driven by the continuous
+	// churn process (0 when the scenario has no churn).
+	ChurnEvents int
+	// TxCfg is the effective per-node ingestion configuration — the
+	// degradation invariant checks queue bounds against it.
+	TxCfg txflow.Config
 }
 
 // Cleanup closes any open archives and removes the Durable scratch
@@ -89,10 +98,36 @@ func RunWith(s Scenario, preStart func(c *sim.Cluster)) *Result {
 	if s.TStepOverride > 0 {
 		cfg.Params.TStep = s.TStepOverride
 	}
+	if len(s.Grinders) > 0 {
+		// Grinding only biases sortition when the seed chain reaches it:
+		// refresh every round (§5.2 with R = 1) so the publish/withhold
+		// choice over round r's seed matters at round r+1.
+		cfg.LedgerCfg.SeedRefreshInterval = 1
+	}
+	cfg.Weights = s.StakeWeights()
+	if s.Durable && len(s.Diskless) > 0 {
+		mask := make([]bool, s.Nodes)
+		for _, i := range s.Diskless {
+			if i >= 0 && i < s.Nodes {
+				mask[i] = true
+			}
+		}
+		cfg.Diskless = mask
+	}
 	if s.TxLoad > 0 {
 		// Deliberately small pool bounds: at these rates the lowest-fee
 		// eviction path fires constantly, which is the point.
 		cfg.TxFlow = txflow.Config{Shards: 4, MaxTxs: 256, MaxBytes: 64 << 10, MaxPerSender: 48}
+	}
+	if s.Overload {
+		// Overload scenarios shrink admission hard below the offered
+		// TxLoad: pool, bytes, per-sender caps and a rate limiter all
+		// saturate, and the degradation invariant demands the pipeline
+		// shed with typed rejects instead of growing without bound.
+		cfg.TxFlow = txflow.Config{
+			Shards: 4, MaxTxs: 96, MaxBytes: 24 << 10, MaxPerSender: 12,
+			RateLimit: 10, RateWindow: time.Second,
+		}
 	}
 	healAt := s.LastFaultClear()
 	cfg.Horizon = healAt + livenessBudget
@@ -119,6 +154,7 @@ func RunWith(s Scenario, preStart func(c *sim.Cluster)) *Result {
 		Byzantine:   make(map[int]bool),
 		CheckParams: cfg.Params,
 		DataDir:     cfg.DataDir,
+		TxCfg:       cfg.TxFlow,
 	}
 
 	// --- Compile faults into network hooks and scheduled events.
@@ -126,6 +162,12 @@ func RunWith(s Scenario, preStart func(c *sim.Cluster)) *Result {
 		res.Byzantine[i] = true
 	}
 	c.MakeEquivocatingProposers(s.Equivocators)
+	if len(s.Grinders) > 0 {
+		for _, g := range s.Grinders {
+			res.Byzantine[g] = true
+		}
+		res.Grind = c.MakeGrindingProposers(s.Grinders, s.GrindHoldBack)
+	}
 
 	for _, p := range s.Partitions {
 		p := p
@@ -150,6 +192,24 @@ func RunWith(s Scenario, preStart func(c *sim.Cluster)) *Result {
 				}
 			}
 			return false
+		})
+	}
+	for _, lf := range s.Limbo {
+		lf := lf
+		c.Net.AddLimboFault(network.LimboFault{
+			Match: func(from, to int) bool {
+				if lf.From >= 0 && from != lf.From {
+					return false
+				}
+				if lf.To >= 0 && to != lf.To {
+					return false
+				}
+				return true
+			},
+			Active:     func(now time.Duration) bool { return now >= lf.Start && now < lf.End },
+			HoldProb:   lf.HoldProb,
+			HoldFor:    lf.HoldFor,
+			HoldJitter: lf.HoldJitter,
 		})
 	}
 	for _, lf := range s.LinkFaults {
@@ -204,12 +264,83 @@ func RunWith(s Scenario, preStart func(c *sim.Cluster)) *Result {
 	if s.TxLoad > 0 {
 		startTxLoad(c, s.TxLoad, s.Seed)
 	}
+	if s.Churn != nil {
+		startChurn(c, res, s)
+	}
 
 	if preStart != nil {
 		preStart(c)
 	}
 	res.Elapsed = c.Run()
 	return res
+}
+
+// startChurn runs the continuous Poisson crash/restart process of a
+// ChurnFault: exponential inter-arrivals at EventsPerMin, each event
+// crashing one eligible node and restarting it after a bounded downtime
+// (no later than the churn window's end, so LastFaultClear covers every
+// cycle). Scripted-crash and Byzantine nodes are exempt — a restart
+// would silently heal an attacker, and double-crashing a scripted node
+// would entangle two schedules. A restarted node becomes eligible
+// again immediately, so churn naturally produces crash-during-catch-up
+// (restart-during-restart) interleavings. Every draw comes from one
+// sub-seeded RNG, so churned runs replay exactly.
+func startChurn(c *sim.Cluster, res *Result, s Scenario) {
+	ch := s.Churn
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x636875726e)) // "churn"
+	scripted := map[int]bool{}
+	for _, cr := range s.Crashes {
+		scripted[cr.Node] = true
+	}
+	downNow := map[int]bool{}
+	c.Sim.Spawn("chaos-churn", func(p *vtime.Proc) {
+		if start := ch.Start - c.Sim.Now(); start > 0 {
+			p.Sleep(start)
+		}
+		for !c.Sim.Stopped() {
+			gap := time.Duration(rng.ExpFloat64() * float64(time.Minute) / ch.EventsPerMin)
+			p.Sleep(gap)
+			now := c.Sim.Now()
+			if now >= ch.End {
+				return
+			}
+			if len(downNow) >= ch.MaxConcurrent {
+				continue
+			}
+			span := int64(ch.MaxDown - ch.MinDown)
+			down := ch.MinDown
+			if span > 0 {
+				down += time.Duration(rng.Int63n(span + 1))
+			}
+			restartAt := now + down
+			if restartAt > ch.End {
+				restartAt = ch.End
+			}
+			var eligible []int
+			for i, n := range c.Nodes {
+				if scripted[i] || res.Byzantine[i] || downNow[i] || res.Down[i] ||
+					n.Halted() || n.Done() {
+					continue
+				}
+				eligible = append(eligible, i)
+			}
+			if len(eligible) == 0 {
+				continue
+			}
+			v := eligible[rng.Intn(len(eligible))]
+			downNow[v] = true
+			res.ChurnEvents++
+			c.CrashNode(v)
+			at := restartAt
+			c.Sim.After(at-now, func() {
+				delete(downNow, v)
+				if _, _, err := c.RestartNode(v, livenessBudget); err != nil {
+					res.RestartErrs = append(res.RestartErrs,
+						fmt.Errorf("churned node %d restart at %v: %w", v, at, err))
+				}
+			})
+		}
+	})
 }
 
 // startTxLoad drives a seeded, deliberately messy payment stream
@@ -294,6 +425,8 @@ func (r *Result) Check() []Violation {
 		vs = append(vs, Violation{Kind: "restart-failed", Node: -1, Detail: err.Error()})
 	}
 	vs = append(vs, CheckDurability(r)...)
+	vs = append(vs, CheckSortitionBias(r)...)
+	vs = append(vs, CheckDegradation(r)...)
 	return vs
 }
 

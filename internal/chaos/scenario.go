@@ -10,6 +10,7 @@ package chaos
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"time"
@@ -52,6 +53,46 @@ type DoSFault struct {
 	Start, End time.Duration
 }
 
+// LimboFault holds matching transfers in the undecidable-message limbo
+// of Conti et al. (PAPERS.md): captured messages are neither delivered
+// on schedule nor provably dropped, and are released HoldFor plus up to
+// HoldJitter after capture — past the step timeouts, at instants the
+// adversary picks. Captures happen inside [Start, End); From/To select
+// one ordered node pair, -1 matching any sender/receiver.
+type LimboFault struct {
+	Start, End time.Duration
+	// HoldProb is the per-transfer capture probability.
+	HoldProb float64
+	// HoldFor/HoldJitter shape the limbo duration; make HoldFor larger
+	// than λ_step so the receiver's step genuinely times out first.
+	HoldFor    time.Duration
+	HoldJitter time.Duration
+	From, To   int
+}
+
+// ChurnFault runs a continuous Poisson join/leave/restart process over
+// [Start, End): crash events arrive at EventsPerMin (exponential
+// inter-arrivals), each victim staying down for a uniform draw in
+// [MinDown, MaxDown] before a full §8.3 restart (archive replay for
+// durable nodes, memory-image recovery for diskless ones). At most
+// MaxConcurrent nodes are churned down at once, and every churned node
+// is restarted by End — the fault is bounded, per weak synchrony (§3).
+type ChurnFault struct {
+	Start, End       time.Duration
+	EventsPerMin     float64
+	MinDown, MaxDown time.Duration
+	MaxConcurrent    int
+}
+
+// Stake distribution names for Scenario.StakeDist.
+const (
+	// StakeZipf assigns weight ∝ 1/rank^α over a seed-derived rank
+	// permutation of the nodes.
+	StakeZipf = "zipf"
+	// StakePareto draws i.i.d. Pareto(α) weights.
+	StakePareto = "pareto"
+)
+
 // Scenario is a pure-data description of one adversarial run.
 type Scenario struct {
 	// Seed drives every random choice: topology, sortition identities,
@@ -67,10 +108,45 @@ type Scenario struct {
 	// Bounded by the paper's 20% Byzantine-weight assumption.
 	Equivocators int
 
+	// Grinders lists nodes (outside the equivocator prefix) running the
+	// §5.2 seed-grinding strategy from Wang's critique: withhold or
+	// re-time proposals to steer the next sortition seed. Their combined
+	// weight with the equivocators stays under the 20% Byzantine bound.
+	// Grinding scenarios refresh the sortition seed every round so the
+	// binary publish/withhold choice actually reaches sortition.
+	Grinders []int
+	// GrindHoldBack is how long a grinder delays a proposal it does
+	// publish (landing it at the edge of peers' λ_priority windows).
+	GrindHoldBack time.Duration
+
 	Partitions []PartitionFault
 	LinkFaults []LinkFault
 	Crashes    []CrashFault
 	DoS        []DoSFault
+	// Limbo holds messages in a neither-delivered-nor-dropped state past
+	// step timeouts (undecidable-message schedules).
+	Limbo []LimboFault
+	// Churn, when non-nil, replaces fixed crash lists with a continuous
+	// Poisson crash/restart process over the whole window.
+	Churn *ChurnFault
+
+	// StakeDist selects the genesis stake distribution ("" = equal
+	// stakes, StakeZipf, StakePareto); StakeAlpha is the tail exponent.
+	// Weights derive deterministically from Seed (see StakeWeights), with
+	// any single stake capped at 20% of the total so no lone crash can
+	// take the paper's honest-majority-online assumption with it.
+	StakeDist  string
+	StakeAlpha float64
+
+	// Diskless lists nodes that run without an on-disk archive even
+	// under Durable — the mixed durable/diskless fleet churn exercises.
+	Diskless []int
+
+	// Overload shrinks every node's admission bounds (pool, bytes,
+	// per-sender caps, rate limits) while TxLoad is cranked far past
+	// them: the graceful-degradation invariant then demands typed
+	// shedding and bounded queues rather than collapse.
+	Overload bool
 
 	// TxLoad, when > 0, drives a seeded payment stream (transactions per
 	// virtual second) through every node's ingestion pipeline for the
@@ -99,6 +175,116 @@ type Scenario struct {
 	TStepRestoreAt time.Duration
 }
 
+// StakeWeights derives the genesis stake vector from the scenario seed
+// and distribution — nil for equal stakes. Deterministic: the same
+// scenario always deals the same wealth. Any single stake is capped at
+// 20% of the total (iteratively, so the cap holds against the capped
+// total too): the liveness invariant assumes a strong honest majority
+// of weight stays online, and the generator may crash any single node
+// permanently.
+func (s *Scenario) StakeWeights() []uint64 {
+	if s.StakeDist == "" {
+		return nil
+	}
+	alpha := s.StakeAlpha
+	if alpha <= 0 {
+		alpha = 1.2
+	}
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x7374616b65)) // "stake"
+	w := make([]uint64, s.Nodes)
+	switch s.StakeDist {
+	case StakeZipf:
+		perm := rng.Perm(s.Nodes)
+		for i, rank := range perm {
+			v := math.Round(1000 / math.Pow(float64(rank+1), alpha))
+			if v < 1 {
+				v = 1
+			}
+			w[i] = uint64(v)
+		}
+	case StakePareto:
+		for i := range w {
+			v := math.Round(10 * math.Pow(1-rng.Float64(), -1/alpha))
+			if v < 10 {
+				v = 10
+			}
+			w[i] = uint64(v)
+		}
+	default:
+		panic(fmt.Sprintf("chaos: unknown stake distribution %q", s.StakeDist))
+	}
+	for changed := true; changed; {
+		changed = false
+		var total uint64
+		for _, v := range w {
+			total += v
+		}
+		for i, v := range w {
+			if v*5 > total {
+				w[i] = total / 5
+				changed = true
+			}
+		}
+	}
+	return w
+}
+
+// ByzantineNodes returns every node under adversarial control: the
+// equivocator prefix plus the grinders.
+func (s *Scenario) ByzantineNodes() []int {
+	var ids []int
+	for i := 0; i < s.Equivocators; i++ {
+		ids = append(ids, i)
+	}
+	ids = append(ids, s.Grinders...)
+	return ids
+}
+
+// ByzantineWeightFrac returns the fraction of total genesis stake held
+// by Byzantine nodes — the quantity the paper's 20% assumption (§2)
+// actually bounds. RandomScenario keeps it ≤ 0.2 on every draw.
+func (s *Scenario) ByzantineWeightFrac() float64 {
+	w := s.StakeWeights()
+	var total, byz float64
+	weight := func(i int) float64 {
+		if w == nil {
+			return 1
+		}
+		return float64(w[i])
+	}
+	for i := 0; i < s.Nodes; i++ {
+		total += weight(i)
+	}
+	for _, i := range s.ByzantineNodes() {
+		byz += weight(i)
+	}
+	if total == 0 {
+		return 0
+	}
+	return byz / total
+}
+
+// clampByzantinePrefix shrinks an equivocator count until the prefix
+// holds at most 20% of total stake. With equal stakes (w nil) the
+// count-based draw already satisfies the bound.
+func clampByzantinePrefix(k int, w []uint64) int {
+	if k <= 0 || w == nil {
+		return k
+	}
+	var total, pre uint64
+	for _, v := range w {
+		total += v
+	}
+	for i := 0; i < k; i++ {
+		pre += w[i]
+	}
+	for k > 0 && pre*5 > total {
+		k--
+		pre -= w[k]
+	}
+	return k
+}
+
 // LastFaultClear returns the virtual time at which the last scheduled
 // fault has cleared; the §8.2 liveness demand starts there.
 func (s *Scenario) LastFaultClear() time.Duration {
@@ -124,6 +310,14 @@ func (s *Scenario) LastFaultClear() time.Duration {
 	for _, d := range s.DoS {
 		max(d.End)
 	}
+	for _, lf := range s.Limbo {
+		// The last capture can happen just before End and is held for up
+		// to HoldFor+HoldJitter past that instant.
+		max(lf.End + lf.HoldFor + lf.HoldJitter)
+	}
+	if s.Churn != nil {
+		max(s.Churn.End)
+	}
 	max(s.TStepRestoreAt)
 	return t
 }
@@ -134,6 +328,9 @@ func (s *Scenario) String() string {
 	fmt.Fprintf(&b, "seed=%d n=%d rounds=%d", s.Seed, s.Nodes, s.Rounds)
 	if s.Equivocators > 0 {
 		fmt.Fprintf(&b, " equivocators=%d", s.Equivocators)
+	}
+	if len(s.Grinders) > 0 {
+		fmt.Fprintf(&b, " grinders=%v holdback=%v", s.Grinders, s.GrindHoldBack)
 	}
 	for _, p := range s.Partitions {
 		fmt.Fprintf(&b, " split[%v,%v)cut=%d", p.Start, p.End, p.Cut)
@@ -151,6 +348,23 @@ func (s *Scenario) String() string {
 	}
 	for _, d := range s.DoS {
 		fmt.Fprintf(&b, " dos(%v@[%v,%v))", d.Nodes, d.Start, d.End)
+	}
+	for _, lf := range s.Limbo {
+		fmt.Fprintf(&b, " limbo[%v,%v)p=%.2f hold=%v+%v from=%d to=%d",
+			lf.Start, lf.End, lf.HoldProb, lf.HoldFor, lf.HoldJitter, lf.From, lf.To)
+	}
+	if c := s.Churn; c != nil {
+		fmt.Fprintf(&b, " churn[%v,%v)rate=%.1f/min down=[%v,%v] conc=%d",
+			c.Start, c.End, c.EventsPerMin, c.MinDown, c.MaxDown, c.MaxConcurrent)
+	}
+	if s.StakeDist != "" {
+		fmt.Fprintf(&b, " stake=%s(a=%.2f)", s.StakeDist, s.StakeAlpha)
+	}
+	if len(s.Diskless) > 0 {
+		fmt.Fprintf(&b, " diskless=%v", s.Diskless)
+	}
+	if s.Overload {
+		b.WriteString(" overload")
 	}
 	if s.TStepOverride > 0 {
 		fmt.Fprintf(&b, " tstep=%.2f until %v", s.TStepOverride, s.TStepRestoreAt)
@@ -243,6 +457,96 @@ func RandomScenario(seed int64) Scenario {
 	// Drawn after TxLoad, same reason: earlier seeds keep their schedules.
 	if rng.Float64() < 0.4 {
 		s.Durable = true
+	}
+
+	// Adversarial-resilience families. Appended strictly after every
+	// pre-existing draw so old seeds keep their exact fault schedules.
+
+	// Heavy-tailed stake. Once wealth is concentrated, the equivocator
+	// *count* drawn above may exceed the 20% Byzantine *weight* bound the
+	// paper actually assumes — clamp by weight, never by count.
+	if rng.Float64() < 0.35 {
+		if rng.Float64() < 0.5 {
+			s.StakeDist = StakeZipf
+		} else {
+			s.StakeDist = StakePareto
+		}
+		s.StakeAlpha = 1.0 + 0.6*rng.Float64() // 1.0..1.6
+	}
+	s.Equivocators = clampByzantinePrefix(s.Equivocators, s.StakeWeights())
+
+	// Seed grinders: 1-2 non-equivocator nodes, admitted only while the
+	// combined Byzantine weight stays ≤ 20%.
+	if rng.Float64() < 0.35 {
+		k := 1 + rng.Intn(2)
+		for i := 0; i < k; i++ {
+			cand := s.Equivocators + rng.Intn(s.Nodes-s.Equivocators)
+			dup := false
+			for _, g := range s.Grinders {
+				if g == cand {
+					dup = true
+				}
+			}
+			if dup {
+				continue
+			}
+			trial := s
+			trial.Grinders = append(append([]int(nil), s.Grinders...), cand)
+			if trial.ByzantineWeightFrac() <= 0.2 {
+				s.Grinders = trial.Grinders
+			}
+		}
+		if len(s.Grinders) > 0 {
+			s.GrindHoldBack = time.Duration(500+rng.Intn(1201)) * time.Millisecond
+		}
+	}
+
+	// Undecidable-message limbo: hold past λ_step (2s accelerated), so
+	// receivers' steps time out before the adversary releases.
+	if rng.Float64() < 0.4 {
+		start := sec(1, 8)
+		lf := LimboFault{
+			Start:      start,
+			End:        start + sec(8, 20),
+			HoldProb:   0.05 + 0.25*rng.Float64(),
+			HoldFor:    time.Duration(2500+rng.Intn(4000)) * time.Millisecond,
+			HoldJitter: time.Duration(500+rng.Intn(2000)) * time.Millisecond,
+			From:       -1,
+			To:         -1,
+		}
+		if rng.Float64() < 0.3 { // sometimes target one ordered pair only
+			lf.From = rng.Intn(s.Nodes)
+			lf.To = rng.Intn(s.Nodes)
+		}
+		s.Limbo = append(s.Limbo, lf)
+	}
+
+	// Continuous churn over most of the run; mixed durable/diskless
+	// fleets when the scenario has disks at all.
+	if rng.Float64() < 0.35 {
+		start := sec(1, 5)
+		s.Churn = &ChurnFault{
+			Start:         start,
+			End:           start + sec(20, 45),
+			EventsPerMin:  2 + 6*rng.Float64(), // 2..8 events/min
+			MinDown:       sec(2, 4),
+			MaxDown:       sec(6, 14),
+			MaxConcurrent: 1 + rng.Intn(2),
+		}
+		if s.Durable {
+			for i := 0; i < s.Nodes; i++ {
+				if rng.Float64() < 0.3 {
+					s.Diskless = append(s.Diskless, i)
+				}
+			}
+		}
+	}
+
+	// Overload: crank TxLoad far past the shrunken admission bounds the
+	// harness installs for Overload scenarios.
+	if rng.Float64() < 0.3 {
+		s.Overload = true
+		s.TxLoad = float64(150 + rng.Intn(150)) // 150..299 tx/s
 	}
 	return s
 }

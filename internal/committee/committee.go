@@ -169,6 +169,47 @@ func logSumExp(logs []float64) float64 {
 	return max + math.Log(sum)
 }
 
+// PoissonUpperTailLog returns a Chernoff upper bound on
+// ln P[Poisson(λ) ≥ k]: for k > λ the bound is
+// exp(-λ) (eλ/k)^k, i.e. k - λ - k·ln(k/λ) in log space; for k ≤ λ the
+// tail is not small and the bound is 0 (ln 1). The chaos harness uses
+// it to ask "how surprising is this many Byzantine committee seats?"
+// without enumerating PMFs: committee sortition gives a party with
+// weight fraction f an expected f·τ seats per step (the binomial is
+// Poisson to within the paper's own approximation), so observed seats
+// far above Σ f·τ across certificates betray a biased seed chain.
+func PoissonUpperTailLog(lambda float64, k float64) float64 {
+	if k <= lambda || k <= 0 {
+		return 0
+	}
+	if lambda <= 0 {
+		return math.Inf(-1) // impossible: any seat from a zero-weight party
+	}
+	return k - lambda - k*math.Log(k/lambda)
+}
+
+// BinomialUpperTailLog returns a Chernoff upper bound on
+// ln P[Binomial(n, p) ≥ k] via the relative-entropy form
+// exp(-n·D(k/n ‖ p)); 0 (ln 1) when k ≤ n·p. Used to bound how many
+// rounds a Byzantine stake fraction p may win block proposal.
+func BinomialUpperTailLog(n int, p float64, k int) float64 {
+	if n <= 0 || k <= 0 || float64(k) <= float64(n)*p {
+		return 0
+	}
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if k > n {
+		return math.Inf(-1) // impossible outcome
+	}
+	a := float64(k) / float64(n)
+	d := a * math.Log(a/p)
+	if a < 1 {
+		d += (1 - a) * math.Log((1-a)/(1-p))
+	}
+	return -float64(n) * d
+}
+
 // AdversaryCertificateLog2Prob returns log₂ P[Poisson((1-h)·τ) > T·τ]:
 // the probability that adversary-controlled committee seats alone
 // exceed the vote threshold in a single step, which is what an attacker

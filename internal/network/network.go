@@ -186,6 +186,33 @@ type LinkFault struct {
 	ExtraJitter time.Duration
 }
 
+// LimboFault scripts the "undecidable message" adversary of Conti et
+// al. (PAPERS.md): captured transfers are neither delivered on schedule
+// nor provably dropped — they sit in limbo past the receiver's step
+// timeouts and are released at an instant of the adversary's choosing
+// (HoldFor plus a uniform draw in [0, HoldJitter)). BA⋆ must treat the
+// silence as a timeout and still terminate; the late release then tests
+// that stale messages from long-decided steps cannot unwind anything.
+// Draws come from the network's dedicated fault RNG (SeedFaults), so a
+// fixed seed replays the exact same captures and release instants.
+type LimboFault struct {
+	// Match selects the links the fault applies to; nil matches every
+	// link.
+	Match func(from, to int) bool
+	// Active gates capture by virtual time; nil means always active.
+	// Only capture is gated — a message captured inside the window is
+	// still released after it.
+	Active func(now time.Duration) bool
+	// HoldProb is the per-transfer capture probability in [0, 1].
+	HoldProb float64
+	// HoldFor is the minimum limbo duration before release; choose it
+	// larger than the protocol's step timeout to make the message
+	// genuinely undecidable for the receiver.
+	HoldFor time.Duration
+	// HoldJitter adds a uniform extra hold in [0, HoldJitter).
+	HoldJitter time.Duration
+}
+
 // Network is the simulated gossip network.
 type Network struct {
 	sim *vtime.Sim
@@ -207,6 +234,10 @@ type Network struct {
 	faults   []LinkFault
 	faultRng *rand.Rand
 
+	// limbos are the installed undecidable-message schedules (capture
+	// draws also come from faultRng).
+	limbos []LimboFault
+
 	// lastRotate is the virtual time of the last seen-cache rotation.
 	lastRotate time.Duration
 
@@ -216,6 +247,7 @@ type Network struct {
 	totalMsgs  *metrics.Counter
 	totalLost  *metrics.Counter
 	totalDups  *metrics.Counter
+	totalLimbo *metrics.Counter
 }
 
 // New creates a network of n nodes on sim. Handlers start nil; call
@@ -238,6 +270,7 @@ func New(sim *vtime.Sim, cfg Config, n int) *Network {
 		totalMsgs:  reg.Counter("algorand_net_msgs_total", "first-copy messages delivered across the network"),
 		totalLost:  reg.Counter("algorand_net_lost_total", "transfers dropped by link faults (not partitions)"),
 		totalDups:  reg.Counter("algorand_net_dups_total", "deliveries suppressed as exact duplicates"),
+		totalLimbo: reg.Counter("algorand_net_limbo_total", "transfers held in undecidable-message limbo"),
 	}
 	var vmUp, vmDown *link
 	for i := 0; i < n; i++ {
@@ -404,6 +437,48 @@ func (nw *Network) AddLinkFault(f LinkFault) {
 // ClearLinkFaults removes every installed link fault.
 func (nw *Network) ClearLinkFaults() { nw.faults = nil }
 
+// AddLimboFault installs an undecidable-message schedule. Limbo faults
+// accumulate; a transfer captured by several holds for the longest of
+// their draws.
+func (nw *Network) AddLimboFault(f LimboFault) {
+	if nw.faultRng == nil {
+		nw.SeedFaults(nw.cfg.Seed)
+	}
+	nw.limbos = append(nw.limbos, f)
+}
+
+// ClearLimboFaults removes every installed limbo fault. Messages already
+// captured stay captured — their release events are scheduled.
+func (nw *Network) ClearLimboFaults() { nw.limbos = nil }
+
+// applyLimbo runs the installed limbo faults for one transfer. It
+// reports the extra hold to apply and whether the transfer was captured.
+func (nw *Network) applyLimbo(from, to int, now time.Duration) (time.Duration, bool) {
+	var hold time.Duration
+	captured := false
+	for i := range nw.limbos {
+		f := &nw.limbos[i]
+		if f.Active != nil && !f.Active(now) {
+			continue
+		}
+		if f.Match != nil && !f.Match(from, to) {
+			continue
+		}
+		if f.HoldProb < 1 && nw.faultRng.Float64() >= f.HoldProb {
+			continue
+		}
+		h := f.HoldFor
+		if f.HoldJitter > 0 {
+			h += time.Duration(nw.faultRng.Int63n(int64(f.HoldJitter)))
+		}
+		if h > hold {
+			hold = h
+		}
+		captured = true
+	}
+	return hold, captured
+}
+
 // applyFaults runs the installed link faults for one transfer at the
 // given virtual time. It reports whether the transfer is dropped and, if
 // not, the total extra latency to add.
@@ -509,6 +584,16 @@ func (nw *Network) send(from, to int, m Message) {
 		}
 		faultDelay = extra
 	}
+	// Undecidable-message limbo (Conti et al.): the transfer leaves the
+	// sender normally — it is not dropped, and the sender cannot tell —
+	// but the adversary withholds delivery until the release instant.
+	var limboHold time.Duration
+	if len(nw.limbos) > 0 {
+		if hold, captured := nw.applyLimbo(from, to, now); captured {
+			limboHold = hold
+			nw.totalLimbo.Inc()
+		}
+	}
 	src, dst := nw.eps[from], nw.eps[to]
 	size := m.WireSize()
 
@@ -526,6 +611,9 @@ func (nw *Network) send(from, to int, m Message) {
 	// Downlink reservation is made against its state at send time; with
 	// event-driven delivery this is a standard approximation.
 	deliverAt := dst.down.transmit(arrive, size)
+	if release := now + limboHold; limboHold > 0 && release > deliverAt {
+		deliverAt = release
+	}
 
 	nw.sim.After(deliverAt-now, func() {
 		nw.deliver(from, to, m)
@@ -614,6 +702,10 @@ func (nw *Network) TotalMsgs() int64 { return int64(nw.totalMsgs.Load()) }
 // TotalLost is the aggregate count of transfers dropped by link faults
 // (not partitions).
 func (nw *Network) TotalLost() int64 { return int64(nw.totalLost.Load()) }
+
+// TotalLimbo is the aggregate count of transfers held in
+// undecidable-message limbo.
+func (nw *Network) TotalLimbo() int64 { return int64(nw.totalLimbo.Load()) }
 
 // ResetSeen clears all duplicate-suppression state at once — the
 // forced version of what SeenTTL rotation does gradually.

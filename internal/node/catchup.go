@@ -226,6 +226,8 @@ func (n *Node) SyncFromPeersUntil(p *vtime.Proc, deadline time.Duration, target 
 	inbox := n.catchupInbox()
 	peerIdx := 0
 	stalls := 0
+	probedFork := false
+	fromOverride := uint64(0)
 	for p.Now() < deadline && stalls < 2*len(peers) {
 		if target > 0 && n.ledger.ChainLength() >= target {
 			break
@@ -236,6 +238,10 @@ func (n *Node) SyncFromPeersUntil(p *vtime.Proc, deadline time.Duration, target 
 			MaxBlocks: 32,
 			Requester: n.ID,
 			Nonce:     n.reqNonce,
+		}
+		if fromOverride > 0 {
+			req.FromRound = fromOverride
+			fromOverride = 0
 		}
 		n.net.Unicast(n.ID, peers[peerIdx%len(peers)], req)
 		peerIdx++
@@ -254,6 +260,22 @@ func (n *Node) SyncFromPeersUntil(p *vtime.Proc, deadline time.Duration, target 
 			DebugCatchup(n.ID, fmt.Sprintf("applied %d err %v", applied, err), n.ledger.ChainLength())
 		}
 		if err != nil {
+			// The peer's chain conflicts with ours below our head: we may
+			// hold the losing side of a tentative fork (§8.2). Try to adopt
+			// the peer's branch on the strength of its certificates.
+			if n.tryAdoptFork(reply) {
+				stalls = 0
+				continue
+			}
+			// The divergence may start below the reply's first round, in
+			// which case the reply never shows us the fork point. Re-request
+			// once from just past our last final block — the earliest round
+			// a fork can live at — so the next reply spans the divergence.
+			if !probedFork {
+				probedFork = true
+				fromOverride = n.ledger.LastFinal().Round + 1
+				continue
+			}
 			return n.ledger.ChainLength(), err
 		}
 		if applied == 0 {
@@ -263,6 +285,94 @@ func (n *Node) SyncFromPeersUntil(p *vtime.Proc, deadline time.Duration, target 
 		}
 	}
 	return n.ledger.ChainLength(), nil
+}
+
+// tryAdoptFork reconciles this node onto a strictly longer certified
+// chain served by a peer whose blocks conflict with our own tentative
+// suffix. A node that committed the losing side of a tentative fork —
+// say it crossed a step threshold for the empty block while the rest of
+// the network certified a proposal one step later — is wedged: its own
+// rounds extend a branch nobody else builds on, catch-up refuses the
+// conflicting peer data, and it cannot finish §8.2 recovery alone,
+// because a minority never reaches the recovery vote threshold against
+// a healthy majority that skips its checkpoints. The §8.3 certificate
+// chain is the transferable proof that frees it: verify the competing
+// branch from the fork point exactly as regular catch-up would, and
+// switch to it iff it is certified strictly past our head and abandons
+// no final block. Finality is forever — a conflicting *final* block is
+// a safety violation to surface, never to paper over by switching.
+func (n *Node) tryAdoptFork(reply *ChainReply) bool {
+	// Locate the divergence: the first reply block at a round we also
+	// have, carrying a different block.
+	var fork *ledger.Block
+	idx := -1
+	for i, b := range reply.Blocks {
+		ours, ok := n.ledger.BlockAt(b.Round)
+		if !ok {
+			break // past our head: no same-round conflict in this reply
+		}
+		if ours.Hash() != b.Hash() {
+			fork, idx = b, i
+			break
+		}
+	}
+	if fork == nil {
+		return false
+	}
+	// The competing branch must graft onto our canonical chain…
+	parent, ok := n.ledger.BlockAt(fork.Round - 1)
+	if !ok || parent.Hash() != fork.PrevHash {
+		return false
+	}
+	// …must not abandon finalized history…
+	if n.ledger.LastFinal().Round >= fork.Round {
+		return false
+	}
+	// …and must be certified strictly past our head, so the switch is
+	// backed by proof of a longer chain rather than taste.
+	certified := make(map[crypto.Digest]bool, len(reply.Certs))
+	for _, c := range reply.Certs {
+		certified[c.Value] = true
+	}
+	certifiedTo := uint64(0)
+	for _, b := range reply.Blocks[idx:] {
+		if certified[b.Hash()] {
+			certifiedTo = b.Round
+		}
+	}
+	prevLen := n.ledger.ChainLength()
+	if certifiedTo <= prevLen {
+		return false
+	}
+	// Replay regular catch-up from the fork parent: every certificate is
+	// verified on the competing branch before the switch sticks, and any
+	// failure restores the original head. Our abandoned blocks stay in
+	// the ledger as a dead side branch, like a lost recovery fork.
+	prevHead := n.ledger.HeadHash()
+	if n.ledger.SwitchHead(parent.Hash()) != nil {
+		return false
+	}
+	sub := &ChainReply{Recipient: reply.Recipient, Blocks: reply.Blocks[idx:], Certs: reply.Certs}
+	if _, err := n.applyChainReply(sub); err != nil || n.ledger.ChainLength() <= prevLen {
+		n.ledger.SwitchHead(prevHead)
+		return false
+	}
+	// Force the archives onto the adopted branch, as §8.2 repair does: a
+	// restart must replay the canonical chain, not the abandoned fork.
+	certOf := make(map[crypto.Digest]*ledger.Certificate, len(reply.Certs))
+	for _, c := range reply.Certs {
+		certOf[c.Value] = c
+	}
+	for r := fork.Round; r <= n.ledger.ChainLength(); r++ {
+		if b, ok := n.ledger.BlockAt(r); ok {
+			n.persistReconcile(b, certOf[b.Hash()])
+		}
+	}
+	n.ForkAdoptions++
+	if DebugCatchup != nil {
+		DebugCatchup(n.ID, fmt.Sprintf("adopted fork at round %d", fork.Round), n.ledger.ChainLength())
+	}
+	return true
 }
 
 // catchupInbox returns the mailbox chain replies are routed to.
@@ -294,7 +404,10 @@ func (n *Node) trySyncBehind() bool {
 	for !n.halted {
 		prev := n.ledger.ChainLength()
 		if _, err := n.SyncFromPeersUntil(n.proc, n.proc.Now()+10*time.Second, 0); err != nil {
-			break // peer data conflicts with our chain: that is a fork, not lag
+			// Peer data conflicts with our chain and the sync loop's fork
+			// adoption could not resolve it (not longer, or final blocks
+			// diverge): leave it to §8.2 recovery.
+			break
 		}
 		if n.ledger.ChainLength() == prev {
 			break

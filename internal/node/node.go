@@ -219,6 +219,10 @@ type Node struct {
 	alienVotes int
 	// recovered counts completed recovery executions.
 	Recovered int
+	// ForkAdoptions counts catch-up fork adoptions: times this node
+	// abandoned a tentative suffix for a strictly longer certified chain
+	// served by peers (see tryAdoptFork).
+	ForkAdoptions int
 
 	// Behavior hooks for adversarial nodes (see sim package). When
 	// Misbehave is non-nil it is invoked instead of the honest proposal

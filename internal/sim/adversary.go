@@ -1,9 +1,13 @@
 package sim
 
 import (
+	"time"
+
 	"algorand/internal/blockprop"
+	"algorand/internal/crypto"
 	"algorand/internal/ledger"
 	"algorand/internal/node"
+	"algorand/internal/sortition"
 )
 
 // MakeEquivocatingProposers turns the first k nodes into the §10.4
@@ -54,6 +58,95 @@ func (c *Cluster) MakeEquivocatingProposers(k int) {
 			return []*ledger.Vote{v, &alt}
 		}
 	}
+}
+
+// GrindStats counts a seed-grinding attacker's decisions across a run,
+// so harnesses can assert the attack actually fired.
+type GrindStats struct {
+	// Published counts proposals the attacker released (re-timed by the
+	// configured hold-back).
+	Published int
+	// Withheld counts proposals the attacker suppressed to steer the
+	// chain onto the fallback seed.
+	Withheld int
+}
+
+// MakeGrindingProposers turns the given nodes into the seed-grinding
+// attackers of Wang's "Another Look at ALGORAND" critique: a selected
+// Byzantine proposer holds a binary choice over the §5.2 seed chain —
+// publish its block (the next seed is then its VRF output, fixed by the
+// chain) or withhold it (the network falls back to H(prevSeed‖round)) —
+// and picks whichever candidate seed gives it more sortition luck next
+// round. When it does publish, it re-times the release by holdBack,
+// landing the proposal near the edge of peers' λ_priority windows so
+// distant nodes see a different highest priority than nearby ones.
+// Everything else (votes, catch-up) stays honest, which makes this the
+// sharpest *covert* bias attack: nothing it emits is protocol-invalid.
+//
+// The returned stats record every publish/withhold decision. Grinding
+// only pays when the ledger refreshes sortition seeds every round
+// (Config.LedgerCfg.SeedRefreshInterval = 1); with longer refresh
+// intervals the choice rarely matters inside a short run, but the
+// machinery — withheld proposals, re-timed gossip — still exercises the
+// §6 empty-block fallback.
+func (c *Cluster) MakeGrindingProposers(ids []int, holdBack time.Duration) *GrindStats {
+	st := &GrindStats{}
+	for _, i := range ids {
+		if i < 0 || i >= len(c.Nodes) {
+			continue
+		}
+		i := i
+		c.Nodes[i].Misbehave = func(n *node.Node, prop *blockprop.Proposal) {
+			round := prop.Block.Block.Round
+			prevSeed := n.Ledger().PrevSeed()
+			published := prop.Block.Block.Seed
+			fallback := ledger.FallbackSeed(prevSeed, round)
+			if c.grindScore(i, fallback, round) > c.grindScore(i, published, round) {
+				st.Withheld++
+				return // silence: the network commits empty on the fallback seed
+			}
+			st.Published++
+			release := func() {
+				if n.Halted() {
+					return
+				}
+				c.Net.Gossip(n.ID, &node.PriorityGossip{M: prop.Priority})
+				c.Net.Gossip(n.ID, &node.BlockAnnounce{M: prop.Priority, Announcer: n.ID})
+				// Push the body directly (the honest path serves pulls, but a
+				// withholder never stored the block for serving).
+				for _, peer := range c.Net.Neighbors(n.ID) {
+					c.Net.Unicast(n.ID, peer, &node.BlockGossip{M: prop.Block, Recipient: peer})
+				}
+			}
+			if holdBack > 0 {
+				c.Sim.After(holdBack, release)
+			} else {
+				release()
+			}
+		}
+	}
+	return st
+}
+
+// grindScore rates a candidate next-round sortition seed from attacker
+// i's point of view: how many proposer sub-users (weighted heavily — a
+// proposer slot is worth far more than a committee seat) plus committee
+// seats the seed would hand it in round+1. Deterministic, so replays
+// grind identically.
+func (c *Cluster) grindScore(i int, seed crypto.Digest, round uint64) uint64 {
+	id := c.ids[i]
+	w := c.Genesis[id.PublicKey()]
+	var total uint64
+	for _, v := range c.Genesis {
+		total += v
+	}
+	prop := sortition.Execute(id, seed[:],
+		sortition.Role{Kind: sortition.RoleProposer, Round: round + 1},
+		c.Cfg.Params.TauProposer, w, total)
+	comm := sortition.Execute(id, seed[:],
+		sortition.Role{Kind: sortition.RoleCommittee, Round: round + 1, Step: 1},
+		c.Cfg.Params.TauStep, w, total)
+	return prop.J*16 + comm.J
 }
 
 // SplitWorld partitions the network into two halves for the given

@@ -75,6 +75,12 @@ type Config struct {
 	// the real one). Tests pass a diskfault.Injector to script torn
 	// writes, fsync failures and corrupt-sector reads.
 	DiskFS diskfault.FS
+	// Diskless, with DataDir set, marks nodes that nevertheless run
+	// without a durable archive (len must equal N): a mixed
+	// durable/diskless fleet, as churn scenarios use. A diskless node's
+	// restart recovers from its crashed process's in-memory store, like
+	// every node does when DataDir is empty.
+	Diskless []bool
 }
 
 // DefaultConfig returns a simulation with the paper's structure at
@@ -161,6 +167,9 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.Weights != nil && len(cfg.Weights) != cfg.N {
 		panic("sim: len(Weights) must equal N")
 	}
+	if cfg.Diskless != nil && len(cfg.Diskless) != cfg.N {
+		panic("sim: len(Diskless) must equal N")
+	}
 	c.Genesis = make(map[crypto.PublicKey]uint64, cfg.N)
 	weights := make([]uint64, cfg.N)
 	for i := 0; i < cfg.N; i++ {
@@ -190,7 +199,7 @@ func NewCluster(cfg Config) *Cluster {
 	c.tracers = make([]*trace.Tracer, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		nodeCfg := c.instrumentedNodeCfg(i)
-		if cfg.DataDir != "" {
+		if cfg.DataDir != "" && !(cfg.Diskless != nil && cfg.Diskless[i]) {
 			ds, err := diskstore.Open(c.nodeDataDir(i), c.archiveOptions(i))
 			if err != nil {
 				panic(fmt.Sprintf("sim: opening archive for node %d: %v", i, err))

@@ -1,0 +1,153 @@
+package sortition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"algorand/internal/committee"
+	"algorand/internal/crypto"
+)
+
+// skewedWeights builds a heavy-tailed stake vector: Zipf assigns
+// weight ∝ 1/rank^alpha, Pareto draws i.i.d. tails. Scaled so the
+// total comfortably exceeds the largest τ under test (sortition needs
+// p = τ/W < 1).
+func skewedWeights(t *testing.T, dist string, n int, alpha float64) []uint64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(424242))
+	w := make([]uint64, n)
+	switch dist {
+	case "zipf":
+		for i := 0; i < n; i++ {
+			v := math.Round(100000 / math.Pow(float64(i+1), alpha))
+			if v < 1 {
+				v = 1
+			}
+			w[i] = uint64(v)
+		}
+	case "pareto":
+		for i := 0; i < n; i++ {
+			v := math.Round(10000 * math.Pow(1-rng.Float64(), -1/alpha))
+			if v < 10000 {
+				v = 10000
+			}
+			if v > 400000 {
+				v = 400000
+			}
+			w[i] = uint64(v)
+		}
+	default:
+		t.Fatalf("unknown dist %q", dist)
+	}
+	return w
+}
+
+// TestSelectionUnderSkewedStake runs committee sortition over
+// heavy-tailed (Zipf and Pareto) stake at the paper's committee sizes
+// (τ_step = 2000, τ_final-scale = 10000) and demands seat allocation
+// stay proportional to weight within Chernoff concentration bounds: no
+// user — whale or minnow — may collect seats whose binomial upper-tail
+// probability under its stake fraction is below 1e-9, the total must
+// track τ per round, and the whale must actually show up (a whale
+// frozen out of committees is the opposite failure: weight ignored).
+//
+// This is the stake-weighted counterpart of
+// TestSelectionProportionalToWeight, and the unit-level ground truth
+// for the chaos harness's sortition-bias invariant, which applies the
+// same bound to adversarial runs.
+func TestSelectionUnderSkewedStake(t *testing.T) {
+	p := crypto.NewFast()
+	const users = 40
+	const lnTarget = -20.7 // ln(1e-9)
+
+	cases := []struct {
+		dist   string
+		alpha  float64
+		tau    uint64
+		rounds int
+	}{
+		{"zipf", 1.2, 2000, 20},
+		{"zipf", 1.2, 10000, 8},
+		{"pareto", 1.5, 2000, 20},
+		{"pareto", 1.5, 10000, 8},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dist+"/tau="+itoa(tc.tau), func(t *testing.T) {
+			weights := skewedWeights(t, tc.dist, users, tc.alpha)
+			var W uint64
+			whale := 0
+			for i, w := range weights {
+				W += w
+				if w > weights[whale] {
+					whale = i
+				}
+			}
+			if tc.tau >= W {
+				t.Fatalf("total stake %d not above tau %d; test misconfigured", W, tc.tau)
+			}
+			ids := make([]crypto.Identity, users)
+			for i := range ids {
+				ids[i] = p.NewIdentity(crypto.SeedFromUint64(uint64(9000 + i)))
+			}
+
+			seats := make([]uint64, users)
+			var total uint64
+			for r := 0; r < tc.rounds; r++ {
+				seed := crypto.HashUint64("skewed.seed", uint64(r))
+				role := Role{Kind: RoleCommittee, Round: uint64(r), Step: 1}
+				for i, id := range ids {
+					res := Execute(id, seed[:], role, tc.tau, weights[i], W)
+					if res.J > weights[i] {
+						t.Fatalf("user %d drew %d seats from %d weight", i, res.J, weights[i])
+					}
+					seats[i] += res.J
+					total += res.J
+				}
+			}
+
+			// Total committee size tracks τ per round.
+			wantTotal := float64(tc.tau) * float64(tc.rounds)
+			if math.Abs(float64(total)-wantTotal) > 6*math.Sqrt(wantTotal) {
+				t.Fatalf("total seats %d, want ≈%.0f", total, wantTotal)
+			}
+
+			// Concentration: each user's seats are Binomial(w·R, τ/W);
+			// none may land past the 1e-9 upper tail of its own stake.
+			pSel := float64(tc.tau) / float64(W)
+			for i := range seats {
+				n := int(weights[i]) * tc.rounds
+				if lb := committee.BinomialUpperTailLog(n, pSel, int(seats[i])); lb < lnTarget {
+					t.Errorf("user %d (w=%d/%d) holds %d seats, expected %.0f (Chernoff ln P ≤ %.1f)",
+						i, weights[i], W, seats[i], float64(n)*pSel, lb)
+				}
+			}
+
+			// The whale participates in proportion: at these committee
+			// sizes its expectation is in the hundreds or thousands, so
+			// half of it is an extremely loose lower bound.
+			whaleWant := float64(weights[whale]) / float64(W) * wantTotal
+			if float64(seats[whale]) < whaleWant/2 {
+				t.Errorf("whale (w=%d/%d) holds %d seats, expected ≈%.0f",
+					weights[whale], W, seats[whale], whaleWant)
+			}
+			t.Logf("%s τ=%d: total %d/%v, whale %d seats (want ≈%.0f)",
+				tc.dist, tc.tau, total, wantTotal, seats[whale], whaleWant)
+		})
+	}
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -46,16 +46,30 @@ type TxJSON struct {
 	Sig    string `json:"sig"`
 }
 
-// Result is the per-transaction reply.
+// Result is the per-transaction reply. RetryAfterMs, when non-zero, is
+// the backoff hint for load-shedding rejects: the milliseconds the
+// sender should wait before resubmitting.
 type Result struct {
-	Ok    bool   `json:"ok"`
-	Error string `json:"error,omitempty"`
+	Ok           bool   `json:"ok"`
+	Error        string `json:"error,omitempty"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
 }
 
 type batchReply struct {
-	Ok      bool     `json:"ok"`
-	Error   string   `json:"error,omitempty"`
-	Results []Result `json:"results,omitempty"`
+	Ok           bool     `json:"ok"`
+	Error        string   `json:"error,omitempty"`
+	RetryAfterMs int64    `json:"retry_after_ms,omitempty"`
+	Results      []Result `json:"results,omitempty"`
+}
+
+// rejectResult renders a submission error, attaching the retry-after
+// hint when admission shed load.
+func rejectResult(err error) Result {
+	res := Result{Error: err.Error()}
+	if retry, ok := RetryAfterHint(err); ok {
+		res.RetryAfterMs = retry.Milliseconds()
+	}
+	return res
 }
 
 // Transaction converts the JSON form to the ledger type.
@@ -192,7 +206,7 @@ func (s *Server) handle(raw json.RawMessage) batchReply {
 			}
 			if err != nil {
 				ok = false
-				results[i] = Result{Error: err.Error()}
+				results[i] = rejectResult(err)
 			} else {
 				results[i] = Result{Ok: true}
 			}
@@ -208,7 +222,11 @@ func (s *Server) handle(raw json.RawMessage) batchReply {
 		return batchReply{Ok: false, Error: err.Error()}
 	}
 	if err := s.flow.Submit(tx); err != nil {
-		return batchReply{Ok: false, Error: err.Error()}
+		rep := batchReply{Ok: false, Error: err.Error()}
+		if retry, ok := RetryAfterHint(err); ok {
+			rep.RetryAfterMs = retry.Milliseconds()
+		}
+		return rep
 	}
 	return batchReply{Ok: true}
 }

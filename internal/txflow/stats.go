@@ -1,6 +1,7 @@
 package txflow
 
 import (
+	"errors"
 	"fmt"
 
 	"algorand/internal/metrics"
@@ -20,6 +21,7 @@ type counters struct {
 	rateLimited *metrics.Counter
 	poolFull    *metrics.Counter
 	queueFull   *metrics.Counter
+	shed        *metrics.Counter
 	outboxDrop  *metrics.Counter
 	evicted     *metrics.Counter
 	replaced    *metrics.Counter
@@ -41,6 +43,7 @@ func newCounters(r *metrics.Registry) counters {
 		rateLimited: reject("rate_limited"),
 		poolFull:    reject("pool_full"),
 		queueFull:   r.Counter("algorand_txflow_queue_full_total", "gossip batches dropped because the async ingest queue was full"),
+		shed:        r.Counter("algorand_txflow_shed_total", "load-shedding rejects (rate limit, sender cap, pool full) carrying retry-after hints"),
 		outboxDrop:  r.Counter("algorand_txflow_outbox_drop_total", "admitted transactions dropped from the gossip outbox"),
 		evicted:     r.Counter("algorand_txflow_evicted_total", "pending transactions evicted to admit higher-fee ones"),
 		replaced:    r.Counter("algorand_txflow_replaced_total", "pending transactions replaced by same-nonce higher-fee ones"),
@@ -48,17 +51,20 @@ func newCounters(r *metrics.Registry) counters {
 	}
 }
 
-// count attributes a rejection to its counter.
+// count attributes a rejection to its counter. errors.Is, not ==:
+// load-shedding reasons may arrive wrapped in a Reject backoff hint.
 func (c *counters) count(err error) {
-	switch err {
-	case ErrDuplicate:
+	switch {
+	case errors.Is(err, ErrDuplicate):
 		c.duplicate.Inc()
-	case ErrStaleNonce:
+	case errors.Is(err, ErrStaleNonce):
 		c.stale.Inc()
-	case ErrSenderLimit:
+	case errors.Is(err, ErrSenderLimit):
 		c.senderLimit.Inc()
-	case ErrPoolFull:
+		c.shed.Inc()
+	case errors.Is(err, ErrPoolFull):
 		c.poolFull.Inc()
+		c.shed.Inc()
 	}
 }
 
@@ -80,6 +86,9 @@ type Stats struct {
 	RateLimited uint64
 	PoolFull    uint64
 	QueueFull   uint64
+	// Shed sums the load-shedding subset of rejects (sender limit, rate
+	// limit, pool full) — the ones that carry retry-after hints.
+	Shed uint64
 
 	// Pool churn.
 	Evicted  uint64
@@ -121,6 +130,7 @@ func (f *Flow) Stats() Stats {
 		RateLimited:  f.c.rateLimited.Load(),
 		PoolFull:     f.c.poolFull.Load(),
 		QueueFull:    f.c.queueFull.Load(),
+		Shed:         f.c.shed.Load(),
 		Evicted:      f.c.evicted.Load(),
 		Replaced:     f.c.replaced.Load(),
 		Verified:     f.c.verified.Load(),

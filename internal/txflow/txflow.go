@@ -29,6 +29,7 @@ package txflow
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,6 +68,34 @@ var (
 	ErrQueueFull = errors.New("txflow: ingest queue full")
 )
 
+// Reject wraps a load-shedding rejection reason with a per-sender
+// backoff hint: how long the sender should wait before resubmitting.
+// errors.Is against the sentinel reasons still matches (Unwrap), so
+// existing callers keep working; callers that want the hint use
+// RetryAfterHint.
+type Reject struct {
+	Err        error
+	RetryAfter time.Duration
+}
+
+func (r *Reject) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", r.Err, r.RetryAfter)
+}
+
+func (r *Reject) Unwrap() error { return r.Err }
+
+// RetryAfterHint extracts the backoff hint from a rejection, reporting
+// whether one was attached. Rate-limit rejects carry the exact
+// remainder of the sender's window; pool-full and per-sender-cap
+// rejects carry the configured ShedBackoff.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var rej *Reject
+	if errors.As(err, &rej) {
+		return rej.RetryAfter, true
+	}
+	return 0, false
+}
+
 // Config sizes the pipeline. The zero value gets sensible defaults.
 type Config struct {
 	// Shards is the number of mempool shards (senders are distributed
@@ -84,6 +113,11 @@ type Config struct {
 	// Default 0. RateWindow defaults to 1s.
 	RateLimit  int
 	RateWindow time.Duration
+	// ShedBackoff is the retry-after hint attached to load-shedding
+	// rejects that have no natural deadline (pool full, per-sender cap).
+	// Rate-limit rejects instead carry the exact remainder of the
+	// sender's window. Default 500ms.
+	ShedBackoff time.Duration
 	// VerifiedTTL is how long a verified transaction digest is
 	// remembered, so relayed copies are never re-verified. Entries live
 	// between TTL and 2×TTL. Default 2 minutes.
@@ -117,6 +151,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RateWindow <= 0 {
 		c.RateWindow = time.Second
+	}
+	if c.ShedBackoff <= 0 {
+		c.ShedBackoff = 500 * time.Millisecond
 	}
 	if c.VerifiedTTL <= 0 {
 		c.VerifiedTTL = 2 * time.Minute
@@ -370,13 +407,17 @@ func (f *Flow) ingest(tx *ledger.Transaction) ingestResult {
 	// signature verification.
 	if err := sh.precheck(f, tx); err != nil {
 		f.c.count(err)
+		if errors.Is(err, ErrSenderLimit) {
+			err = &Reject{Err: err, RetryAfter: f.cfg.ShedBackoff}
+		}
 		return ingestResult{err: err}
 	}
 
 	if f.cfg.RateLimit > 0 {
-		if !f.admitRate(tx.From, now) {
+		if ok, retry := f.admitRate(tx.From, now); !ok {
 			f.c.rateLimited.Inc()
-			return ingestResult{err: ErrRateLimited}
+			f.c.shed.Inc()
+			return ingestResult{err: &Reject{Err: ErrRateLimited, RetryAfter: retry}}
 		}
 	}
 
@@ -403,6 +444,9 @@ func (f *Flow) ingest(tx *ledger.Transaction) ingestResult {
 	// is over its global bounds.
 	if err := f.insert(sh, tx, id); err != nil {
 		f.c.count(err)
+		if errors.Is(err, ErrPoolFull) {
+			err = &Reject{Err: err, RetryAfter: f.cfg.ShedBackoff}
+		}
 		return ingestResult{err: err, sigChecked: sigChecked}
 	}
 	f.c.admitted.Inc()
@@ -418,8 +462,10 @@ func (f *Flow) ingest(tx *ledger.Transaction) ingestResult {
 	return ingestResult{sigChecked: sigChecked}
 }
 
-// admitRate charges one admission against the sender's rate window.
-func (f *Flow) admitRate(from crypto.PublicKey, now time.Duration) bool {
+// admitRate charges one admission against the sender's rate window. On
+// refusal it returns how long until the sender's window rolls over —
+// the exact moment a resubmission can succeed.
+func (f *Flow) admitRate(from crypto.PublicKey, now time.Duration) (bool, time.Duration) {
 	f.rateMu.Lock()
 	defer f.rateMu.Unlock()
 	// Periodically drop senders whose window has passed, bounding the
@@ -437,11 +483,11 @@ func (f *Flow) admitRate(from crypto.PublicKey, now time.Duration) bool {
 		s = rateSlot{window: now}
 	}
 	if s.n >= f.cfg.RateLimit {
-		return false
+		return false, s.window + f.cfg.RateWindow - now
 	}
 	s.n++
 	f.rates[from] = s
-	return true
+	return true, 0
 }
 
 // DrainOutbox returns the staged transactions packed into batches of
