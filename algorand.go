@@ -32,6 +32,7 @@ import (
 	"algorand/internal/baseline"
 	"algorand/internal/committee"
 	"algorand/internal/crypto"
+	"algorand/internal/gateway"
 	"algorand/internal/genesis"
 	"algorand/internal/ledger"
 	"algorand/internal/network"
@@ -96,6 +97,29 @@ type Percentiles = sim.Percentiles
 
 // NetworkConfig tunes the gossip transport.
 type NetworkConfig = network.Config
+
+// --- Access tier ------------------------------------------------------------
+
+// Gateway is one access-tier node: the user-facing front door between
+// clients and the consensus cluster (edge validation, deterministic
+// cluster routing, a CommitAnnounce-fed read model). Consensus nodes
+// behind gateways carry zero client connections.
+type Gateway = gateway.Gateway
+
+// GatewayConfig assembles a gateway (set SimConfig.Gateways and
+// SimConfig.GatewayCfg to add an access tier to a simulation).
+type GatewayConfig = gateway.Config
+
+// GatewayStats is a gateway's end-of-run books.
+type GatewayStats = gateway.Stats
+
+// ListenAndServeGateway opens a gateway's client-facing TCP/JSON
+// endpoint (submissions, batches, and {"op":...} queries), hardened
+// for hostile clients: connection caps with retry hints, frame-size
+// limits, idle reaping, typed errors.
+func ListenAndServeGateway(addr string, gw *Gateway) (*gateway.Server, error) {
+	return gateway.ListenAndServe(addr, gw)
+}
 
 // DefaultParams returns the paper's implementation parameters
 // (Figure 4): τ_proposer=26, τ_step=2000, T_step=0.685, τ_final=10000,

@@ -12,6 +12,7 @@ package algorand_test
 import (
 	"encoding/json"
 	"os"
+	"strconv"
 	"testing"
 
 	"algorand/internal/experiments"
@@ -141,6 +142,43 @@ func BenchmarkTxflowThroughput(b *testing.B) {
 	}
 	if err := os.WriteFile("BENCH_txflow.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatalf("write BENCH_txflow.json: %v", err)
+	}
+}
+
+// BenchmarkGatewayClientScale is the access-tier benchmark: the
+// TxflowThroughput payment stream plus a million-plus simulated
+// read-only client sessions, all entering through four gateway nodes
+// while consensus serves zero client traffic. It reports committed
+// throughput relative to the direct-submission baseline run inline
+// (the acceptance bar is ≥0.9×) and rewrites BENCH_gateway.json.
+// GATEWAY_SOAK=N multiplies the query-session rate for soak runs.
+func BenchmarkGatewayClientScale(b *testing.B) {
+	queryRate := 18000 // ~1.2M sessions over the default run's ~65 virtual seconds
+	if soak := os.Getenv("GATEWAY_SOAK"); soak != "" {
+		n, err := strconv.Atoi(soak)
+		if err != nil || n < 1 {
+			b.Fatalf("bad GATEWAY_SOAK %q", soak)
+		}
+		queryRate *= n
+	}
+	var rep experiments.GatewayReport
+	for i := 0; i < b.N; i++ {
+		rep = experiments.GatewayClientScale(scale(), 100, queryRate)
+		b.Logf("users=%d gateways=%d rounds=%d → committed %d txs (%.1f MB/h, %.2f× direct baseline %.1f MB/h)",
+			rep.Users, rep.Gateways, rep.Rounds, rep.CommittedTxs,
+			rep.MBytesPerHour, rep.ThroughputRatio, rep.BaselineMBytesPerHour)
+		b.Logf("sessions=%d consensus-client-sessions=%d workload=%+v",
+			rep.ClientSessions, rep.ConsensusClientSessions, rep.Workload)
+		b.ReportMetric(float64(rep.ClientSessions), "sessions")
+		b.ReportMetric(rep.ThroughputRatio, "x-direct")
+		b.ReportMetric(rep.MBytesPerHour, "MB/h")
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal report: %v", err)
+	}
+	if err := os.WriteFile("BENCH_gateway.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_gateway.json: %v", err)
 	}
 }
 

@@ -49,12 +49,17 @@ func main() {
 		submit   = flag.String("submit-addr", "", "listen address for the TCP/JSON transaction submission endpoint (empty = off)")
 		workers  = flag.Int("tx-workers", 4, "signature-verification workers for gossip batches (0 = verify inline)")
 		dataDir  = flag.String("data-dir", "", "directory for the durable WAL archive; restarts recover the chain from it (empty = in-memory only)")
+		gateways = flag.Int("gateways", 0, "how many trailing address-book entries are access-tier gateways (run algorand-gateway there)")
 	)
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
-	if len(addrs) < 2 || *id < 0 || *id >= len(addrs) {
-		fmt.Fprintln(os.Stderr, "need -peers with >=2 addresses and a valid -id")
+	// Gateways occupy the tail of the book: they are in the transport's
+	// address space but hold no stake and never vote. Parameters and
+	// genesis scale with the voters only.
+	voters := len(addrs) - *gateways
+	if voters < 2 || *id < 0 || *id >= voters {
+		fmt.Fprintln(os.Stderr, "need -peers with >=2 consensus addresses and a consensus -id (gateway slots run algorand-gateway)")
 		os.Exit(2)
 	}
 
@@ -62,9 +67,9 @@ func main() {
 	// step timeout.
 	step := time.Duration(*lambdaMS) * time.Millisecond
 	prm := params.Default()
-	prm.TauProposer = uint64(len(addrs))/2 + 1
-	prm.TauStep = uint64(len(addrs)) * 3
-	prm.TauFinal = uint64(len(addrs)) * 6
+	prm.TauProposer = uint64(voters)/2 + 1
+	prm.TauStep = uint64(voters) * 3
+	prm.TauFinal = uint64(voters) * 6
 	prm.LambdaStep = step
 	prm.LambdaPriority = step / 2
 	prm.LambdaStepVar = step / 4
@@ -76,7 +81,7 @@ func main() {
 	provider := crypto.NewReal()
 	genesis := make(map[crypto.PublicKey]uint64)
 	var self crypto.Identity
-	for i := range addrs {
+	for i := 0; i < voters; i++ {
 		idty := provider.NewIdentity(crypto.SeedFromUint64(*gseed<<20 | uint64(i)))
 		genesis[idty.PublicKey()] = *weight
 		if i == *id {
@@ -109,6 +114,9 @@ func main() {
 
 	cfg := node.Config{Params: prm, LedgerCfg: ledger.DefaultConfig()}
 	cfg.TxFlowWorkers = *workers
+	// With an access tier in the book, announce every commit so gateway
+	// read models follow the chain (one 44-byte frame per neighbor).
+	cfg.AnnounceCommits = *gateways > 0
 	// The RPC server submits from its own goroutines, so the pipeline
 	// clock must be readable off the scheduler: use the wall clock.
 	epoch := time.Now()

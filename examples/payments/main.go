@@ -11,43 +11,67 @@
 // fee-ordered mempool, batched TxBatch gossip, and priority assembly —
 // and reports the committed throughput the way §10/Figure 8 does
 // (payload bytes per hour).
+// With -client-scale it instead runs the access-tier experiment: the
+// same payment stream plus a million-plus simulated client sessions,
+// all entering through four gateway nodes (internal/gateway) while the
+// consensus cluster serves zero client connections, written out as
+// BENCH_gateway.json.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"os"
 
 	"algorand"
+	"algorand/internal/experiments"
 )
 
 func main() {
+	clientScale := flag.Bool("client-scale", false, "run the gateway client-scale experiment and write BENCH_gateway.json")
+	sessionRate := flag.Int("sessions-per-sec", 18000, "simulated query sessions per virtual second (with -client-scale)")
+	flag.Parse()
+	if *clientScale {
+		runClientScale(*sessionRate)
+		return
+	}
+
 	const users = 40
 	const rounds = 6
 	const txPerSecond = 40.0
 
 	cfg := algorand.NewSimConfig(users, rounds)
-	cfg.ShardCount = 1     // every node archives everything (for catch-up)
-	cfg.WeightEach = 1000  // fund sustained fee-paying traffic
+	cfg.ShardCount = 1    // every node archives everything (for catch-up)
+	cfg.WeightEach = 1000 // fund sustained fee-paying traffic
+	cfg.Gateways = 2      // clients enter through the access tier
 	cluster := algorand.NewCluster(cfg)
 
 	// Alice (user 1) pays Bob (user 2) 7 units; Bob pays Carol 3. A
 	// nonzero fee buys priority in the mempool; it is burned on commit.
+	// Like all client traffic, the payments enter through a gateway —
+	// consensus nodes never see a client.
 	alice, bob, carol := cluster.Identity(1), cluster.Identity(2), cluster.Identity(3)
 	pay := func(from algorand.Identity, to algorand.PublicKey, amount, fee, nonce uint64, via int) {
 		tx := &algorand.Transaction{From: from.PublicKey(), To: to, Amount: amount, Fee: fee, Nonce: nonce}
 		tx.Sign(from)
-		node := cluster.Nodes[via]
+		gw := cluster.Gateway(via)
 		cluster.Sim.After(0, func() {
-			if err := node.SubmitTx(tx); err != nil {
+			gw.CountSession()
+			if err := gw.Submit(tx); err != nil {
 				fmt.Println("submit rejected:", err)
 			}
 		})
 	}
-	pay(alice, bob.PublicKey(), 7, 2, 0, 1)
-	pay(bob, carol.PublicKey(), 3, 1, 0, 2)
+	pay(alice, bob.PublicKey(), 7, 2, 0, 0)
+	pay(bob, carol.PublicKey(), 3, 1, 0, 1)
 
 	// The load: every node's user keeps paying a random peer for the
-	// whole run (seeded, so the example is reproducible).
-	cluster.Workload(txPerSecond, 1)
+	// whole run (seeded, so the example is reproducible), through the
+	// access tier, honoring typed rejects and retry_after_ms hints.
+	cluster.GatewayWorkload(txPerSecond, 1)
+	// Plus a read-only client population querying gateway read models.
+	cluster.QueryWorkload(2000, 2)
 
 	cluster.Run()
 	if err := cluster.AgreementCheck(); err != nil {
@@ -70,6 +94,17 @@ func main() {
 		committed, float64(payload)/1024, elapsed,
 		float64(payload)/(1<<20)/elapsed.Hours())
 	fmt.Printf("pipeline (node 0): %v\n", cluster.Nodes[0].TxFlow().Stats())
+
+	// The access tier's books: client sessions served, edge admissions,
+	// read-model progress; plus the load driver's retry discipline.
+	for i := 0; i < cluster.NumGateways(); i++ {
+		st := cluster.Gateway(i).Stats()
+		fmt.Printf("gateway %d: sessions=%d queries=%d admitted=%d rejected=%d routed=%d head=%d pending=%d\n",
+			i, st.Sessions, st.Queries, st.Admitted, st.Rejected, st.TxsRouted, st.HeadRound, st.Pending)
+	}
+	ws := cluster.WorkloadStats()
+	fmt.Printf("load driver: submitted=%d admitted=%d retries=%d backoffs=%d stale-resyncs=%d\n",
+		ws.Submitted, ws.Admitted, ws.Retries, ws.Backoffs, ws.StaleSync)
 
 	// A new user joins: fetch blocks + certificates from node 0's
 	// archive and validate everything from genesis (§8.3).
@@ -97,4 +132,33 @@ func main() {
 	fmt.Printf("new user bootstrapped to round %d, head %v (matches: %v)\n",
 		fresh.ChainLength(), fresh.HeadHash(),
 		fresh.HeadHash() == src.Ledger().HeadHash())
+}
+
+// runClientScale drives the full access-tier experiment: 50 consensus
+// nodes behind 4 gateways, the TxflowThroughput payment stream plus
+// sessionRate simulated read-only client sessions per virtual second
+// (the default rate yields 1M+ sessions over the run), compared
+// against an identical direct-submission baseline.
+func runClientScale(sessionRate int) {
+	rep := experiments.GatewayClientScale(experiments.DefaultScale(), 100, sessionRate)
+	fmt.Printf("%d users behind %d gateways, %d rounds, %.0f tx/s offered:\n",
+		rep.Users, rep.Gateways, rep.Rounds, rep.OfferedTPS)
+	fmt.Printf("  client sessions: %d (consensus-node client sessions: %d)\n",
+		rep.ClientSessions, rep.ConsensusClientSessions)
+	fmt.Printf("  committed: %d txs, %.1f MB/h — %.2f× the direct baseline's %.1f MB/h\n",
+		rep.CommittedTxs, rep.MBytesPerHour, rep.ThroughputRatio, rep.BaselineMBytesPerHour)
+	for i, st := range rep.GatewayStats {
+		fmt.Printf("  gateway %d: sessions=%d admitted=%d routed=%d resent=%d head=%d pending=%d (%d B)\n",
+			i, st.Sessions, st.Admitted, st.TxsRouted, st.Resent, st.HeadRound, st.Pending, st.PendingBytes)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("BENCH_gateway.json", append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_gateway.json")
 }

@@ -1,0 +1,312 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+
+	"algorand/internal/crypto"
+	"algorand/internal/ledger"
+	"algorand/internal/network"
+	"algorand/internal/node"
+	"algorand/internal/txflow"
+	"algorand/internal/vtime"
+)
+
+// stubNet records the gateway's outgoing traffic without a network.
+type stubNet struct {
+	unicasts []stubSend
+	gossips  []network.Message
+	handler  network.Handler
+}
+
+type stubSend struct {
+	to int
+	m  network.Message
+}
+
+func (s *stubNet) Gossip(origin int, m network.Message) { s.gossips = append(s.gossips, m) }
+func (s *stubNet) Unicast(from, to int, m network.Message) {
+	s.unicasts = append(s.unicasts, stubSend{to: to, m: m})
+}
+func (s *stubNet) SetHandler(id int, h network.Handler) { s.handler = h }
+func (s *stubNet) Neighbors(id int) []int               { return nil }
+
+// testHarness is a gateway against a stub transport, plus the
+// identities funding its genesis.
+type testHarness struct {
+	sim   *vtime.Sim
+	net   *stubNet
+	gw    *Gateway
+	prov  crypto.Provider
+	ids   []crypto.Identity
+	seed0 crypto.Digest
+}
+
+func newHarness(t *testing.T, cfg Config, users int) *testHarness {
+	t.Helper()
+	sim := vtime.New()
+	prov := crypto.NewFast()
+	genesis := make(map[crypto.PublicKey]uint64, users)
+	var ids []crypto.Identity
+	for i := 0; i < users; i++ {
+		id := prov.NewIdentity(crypto.SeedFromUint64(uint64(i) + 1))
+		ids = append(ids, id)
+		genesis[id.PublicKey()] = 1000
+	}
+	if cfg.Consensus == nil {
+		cfg.Consensus = []int{0, 1, 2, 3, 4, 5, 6, 7}
+	}
+	seed0 := crypto.HashBytes("gateway.test.seed0")
+	net := &stubNet{}
+	gw := New(100, sim, net, prov, cfg, genesis, seed0)
+	return &testHarness{sim: sim, net: net, gw: gw, prov: prov, ids: ids, seed0: seed0}
+}
+
+func (h *testHarness) tx(t *testing.T, from, to, nonce int) *ledger.Transaction {
+	t.Helper()
+	tx := &ledger.Transaction{
+		From:   h.ids[from].PublicKey(),
+		To:     h.ids[to].PublicKey(),
+		Amount: 1,
+		Fee:    1,
+		Nonce:  uint64(nonce),
+	}
+	tx.Sign(h.ids[from])
+	return tx
+}
+
+// block builds round r extending prev with the given transactions.
+func (h *testHarness) block(r uint64, prev crypto.Digest, txs ...ledger.Transaction) *ledger.Block {
+	return &ledger.Block{Round: r, PrevHash: prev, Seed: crypto.HashUint64("seed", r), Txns: txs}
+}
+
+func TestReadModelGenesisMatchesLedger(t *testing.T) {
+	h := newHarness(t, Config{}, 3)
+	genesis := make(map[crypto.PublicKey]uint64)
+	for _, id := range h.ids {
+		genesis[id.PublicKey()] = 1000
+	}
+	l := ledger.New(h.prov, ledger.Config{}, genesis, h.seed0)
+	_, head := h.gw.rm.Head()
+	if head != l.HeadHash() {
+		t.Fatalf("read-model genesis head %x != ledger genesis head %x", head, l.HeadHash())
+	}
+}
+
+func TestClusterRoutingIsDeterministicAndStable(t *testing.T) {
+	h := newHarness(t, Config{Clusters: 4}, 16)
+	for _, id := range h.ids {
+		pk := id.PublicKey()
+		ci := ClusterOf(pk, 4)
+		if ci != ClusterOf(pk, 4) {
+			t.Fatal("routing not deterministic")
+		}
+		if ci < 0 || ci >= 4 {
+			t.Fatalf("cluster %d out of range", ci)
+		}
+	}
+	// Every cluster's member set is disjoint and covers Consensus.
+	seen := map[int]bool{}
+	for ci := 0; ci < 4; ci++ {
+		for _, m := range h.gw.clusterMembers(ci) {
+			if seen[m] {
+				t.Fatalf("consensus node %d serves two clusters", m)
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != len(h.gw.cfg.Consensus) {
+		t.Fatalf("cluster members cover %d of %d consensus nodes", len(seen), len(h.gw.cfg.Consensus))
+	}
+}
+
+func TestSubmitRoutesToSenderCluster(t *testing.T) {
+	h := newHarness(t, Config{Clusters: 4, FanOut: 2}, 8)
+	tx := h.tx(t, 0, 1, 0)
+	if err := h.gw.Submit(tx); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	h.gw.flushOnce()
+	if len(h.net.unicasts) != 2 {
+		t.Fatalf("want FanOut=2 unicasts, got %d", len(h.net.unicasts))
+	}
+	wantCluster := ClusterOf(tx.From, 4)
+	members := h.gw.clusterMembers(wantCluster)
+	memberSet := map[int]bool{}
+	for _, m := range members {
+		memberSet[m] = true
+	}
+	for _, u := range h.net.unicasts {
+		if !memberSet[u.to] {
+			t.Fatalf("batch routed to node %d outside cluster %d members %v", u.to, wantCluster, members)
+		}
+		batch, ok := u.m.(*node.TxBatch)
+		if !ok || len(batch.Txns) != 1 || batch.Txns[0].ID() != tx.ID() {
+			t.Fatalf("unexpected routed message %#v", u.m)
+		}
+	}
+}
+
+func TestAnnounceQuorumDrivesFetchAndApply(t *testing.T) {
+	h := newHarness(t, Config{AnnounceQuorum: 2}, 4)
+	_, genesisHead := h.gw.rm.Head()
+	b1 := h.block(1, genesisHead, *h.tx(t, 0, 1, 0))
+	h1 := b1.Hash()
+
+	// First announce: below quorum, no fetch.
+	h.net.SetHandler(100, network.HandlerFunc(h.gw.handleMessage))
+	h.gw.handleMessage(0, &node.CommitAnnounce{Round: 1, Hash: h1, Announcer: 0})
+	if len(h.net.unicasts) != 0 {
+		t.Fatalf("fetched below quorum: %v", h.net.unicasts)
+	}
+	// Second distinct announcer: quorum → BlockRequest to the announcer.
+	h.gw.handleMessage(1, &node.CommitAnnounce{Round: 1, Hash: h1, Announcer: 1})
+	if len(h.net.unicasts) != 1 {
+		t.Fatalf("want 1 fetch, got %d", len(h.net.unicasts))
+	}
+	req, ok := h.net.unicasts[0].m.(*node.BlockRequest)
+	if !ok || req.Hash != h1 || h.net.unicasts[0].to != 1 {
+		t.Fatalf("unexpected fetch %#v", h.net.unicasts[0])
+	}
+	// The BlockFill answer applies the block.
+	h.gw.handleMessage(1, &node.BlockFill{Block: b1, Recipient: 100})
+	round, head := h.gw.rm.Head()
+	if round != 1 || head != h1 {
+		t.Fatalf("head = (%d, %x), want (1, %x)", round, head, h1)
+	}
+	// Balances moved and the tx is committed.
+	money, nonce, asOf := h.gw.rm.Balance(h.ids[0].PublicKey())
+	if money != 998 || nonce != 1 || asOf != 1 {
+		t.Fatalf("sender state = (%d, %d, %d), want (998, 1, 1)", money, nonce, asOf)
+	}
+	status, r, _ := h.gw.rm.TxStatus(b1.Txns[0].ID())
+	if status != StatusCommitted || r != 1 {
+		t.Fatalf("tx status = (%s, %d), want (committed, 1)", status, r)
+	}
+}
+
+func TestApplyRejectsForksAndQuorumMismatch(t *testing.T) {
+	h := newHarness(t, Config{AnnounceQuorum: 2}, 4)
+	_, genesisHead := h.gw.rm.Head()
+
+	// Wrong PrevHash: rejected.
+	bogus := h.block(1, crypto.HashBytes("not the head"))
+	if ok, _ := h.gw.rm.Apply(bogus); ok {
+		t.Fatal("applied a block that does not extend the head")
+	}
+
+	// Quorum formed for hash A; a different block B for the same round
+	// must not apply even though it extends the head.
+	a := h.block(1, genesisHead, *h.tx(t, 0, 1, 0))
+	h.gw.rm.Observe(1, a.Hash(), 0)
+	h.gw.rm.Observe(1, a.Hash(), 1)
+	b := h.block(1, genesisHead) // empty variant, different hash
+	if ok, _ := h.gw.rm.Apply(b); ok {
+		t.Fatal("applied a block contradicting the announce quorum")
+	}
+	if ok, _ := h.gw.rm.Apply(a); !ok {
+		t.Fatal("failed to apply the quorum block")
+	}
+}
+
+func TestGapTriggersChainFillAndCatchUp(t *testing.T) {
+	h := newHarness(t, Config{AnnounceQuorum: 2}, 4)
+	_, genesisHead := h.gw.rm.Head()
+	b1 := h.block(1, genesisHead)
+	b2 := h.block(2, b1.Hash())
+	b3 := h.block(3, b2.Hash())
+
+	// The gateway hears about round 3 only (it was down for 1 and 2).
+	h.gw.handleMessage(0, &node.CommitAnnounce{Round: 3, Hash: b3.Hash(), Announcer: 0})
+	h.gw.handleMessage(1, &node.CommitAnnounce{Round: 3, Hash: b3.Hash(), Announcer: 1})
+	if len(h.net.unicasts) != 1 {
+		t.Fatalf("want 1 chain request, got %d", len(h.net.unicasts))
+	}
+	req, ok := h.net.unicasts[0].m.(*node.ChainRequest)
+	if !ok || req.FromRound != 1 {
+		t.Fatalf("unexpected gap fill %#v", h.net.unicasts[0].m)
+	}
+	// The reply catches the model up hash-by-hash.
+	h.gw.handleMessage(1, &node.ChainReply{
+		Blocks: []*ledger.Block{b1, b2, b3}, Recipient: 100,
+	})
+	round, head := h.gw.rm.Head()
+	if round != 3 || head != b3.Hash() {
+		t.Fatalf("head = (%d, %x), want (3, %x)", round, head, b3.Hash())
+	}
+}
+
+func TestTypedRejectsCarryRetryHints(t *testing.T) {
+	h := newHarness(t, Config{
+		Flow: txflow.Config{RateLimit: 1, RateWindow: time.Second},
+	}, 4)
+	if err := h.gw.Submit(h.tx(t, 0, 1, 0)); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	err := h.gw.Submit(h.tx(t, 0, 1, 1))
+	if err == nil {
+		t.Fatal("rate limit did not trip")
+	}
+	if wait, ok := txflow.RetryAfterHint(err); !ok || wait <= 0 {
+		t.Fatalf("no retry hint on rate-limit reject: %v", err)
+	}
+	st := h.gw.Stats()
+	if st.Admitted != 1 || st.Rejected != 1 {
+		t.Fatalf("stats admitted=%d rejected=%d, want 1/1", st.Admitted, st.Rejected)
+	}
+}
+
+func TestCommittedClearsPendingAndBlocksResubmission(t *testing.T) {
+	h := newHarness(t, Config{AnnounceQuorum: 1}, 4)
+	tx := h.tx(t, 0, 1, 0)
+	if err := h.gw.Submit(tx); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if status, _, _ := h.gw.rm.TxStatus(tx.ID()); status != StatusPending {
+		t.Fatalf("status before commit = %s, want pending", status)
+	}
+	_, genesisHead := h.gw.rm.Head()
+	b1 := h.block(1, genesisHead, *tx)
+	h.gw.applyBlocks([]*ledger.Block{b1})
+	if status, r, _ := h.gw.rm.TxStatus(tx.ID()); status != StatusCommitted || r != 1 {
+		t.Fatalf("status after commit = %s/%d", status, r)
+	}
+	if h.gw.flow.Len() != 0 {
+		t.Fatalf("mempool still holds %d txs after commit", h.gw.flow.Len())
+	}
+	// Re-submitting the committed tx is now a stale nonce, not a fresh
+	// admission.
+	if err := h.gw.Submit(tx); err == nil {
+		t.Fatal("re-admitted a committed transaction")
+	}
+}
+
+func TestTallyHorizonBoundsState(t *testing.T) {
+	h := newHarness(t, Config{AnnounceQuorum: 2}, 4)
+	// Far-future announces are dropped, near-future ones tallied.
+	for r := uint64(1); r <= tallyHorizon+100; r++ {
+		h.gw.rm.Observe(r, crypto.HashUint64("h", r), 0)
+	}
+	h.gw.rm.mu.RLock()
+	n := len(h.gw.rm.tallies)
+	h.gw.rm.mu.RUnlock()
+	if n > tallyHorizon {
+		t.Fatalf("tally map grew to %d (> horizon %d)", n, tallyHorizon)
+	}
+}
+
+func TestHaltedGatewayIgnoresTraffic(t *testing.T) {
+	h := newHarness(t, Config{AnnounceQuorum: 1}, 4)
+	h.gw.Halt()
+	_, genesisHead := h.gw.rm.Head()
+	b1 := h.block(1, genesisHead)
+	h.gw.handleMessage(0, &node.CommitAnnounce{Round: 1, Hash: b1.Hash(), Announcer: 0})
+	if len(h.net.unicasts) != 0 {
+		t.Fatal("halted gateway fetched a block")
+	}
+	h.gw.Resume()
+	h.gw.handleMessage(0, &node.CommitAnnounce{Round: 1, Hash: b1.Hash(), Announcer: 0})
+	if len(h.net.unicasts) != 1 {
+		t.Fatal("resumed gateway ignored an announce")
+	}
+}

@@ -1,0 +1,266 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+
+	"algorand/internal/cache"
+	"algorand/internal/crypto"
+	"algorand/internal/ledger"
+)
+
+// ReadModel is the gateway's lag-tolerant view of the committed
+// chain, fed exclusively by CommitAnnounce gossip plus the block
+// bodies fetched in response — it never calls into a consensus node's
+// ledger lock. Queries answer from whatever round the model has
+// reached and report that round (`as_of_round`), so a client always
+// knows how stale an answer may be.
+//
+// Integrity model: the gateway verifies hash-chain continuity from
+// the genesis block it was configured with (every applied block's
+// PrevHash must equal the current head hash) and requires
+// AnnounceQuorum distinct consensus nodes to have announced the same
+// (round, hash) before a block is applied. It does NOT verify BA⋆
+// certificates — a quorum of its consensus peers lying in concert can
+// feed it a fake suffix. That is the deliberate trust line for the
+// access tier: gateways are operated alongside the consensus nodes
+// they peer with, and cert verification at the edge would pull
+// committee state into every gateway (DESIGN.md "Access gateway").
+type ReadModel struct {
+	mu sync.RWMutex
+
+	balances  *ledger.Balances
+	head      crypto.Digest
+	headRound uint64
+
+	// recent is a ring of the last RecentBlocks applied blocks,
+	// indexed by round % len.
+	recent []*ledger.Block
+
+	// committed maps tx id → commit round for status queries; pending
+	// marks ids admitted at this gateway and not yet seen committed.
+	// Both are TTL'd two-generation caches, so the status index stays
+	// bounded no matter how long the gateway runs.
+	committed *cache.TwoGen[crypto.Digest, uint64]
+	pending   *cache.TwoGen[crypto.Digest, struct{}]
+
+	// tallies counts announcers per (round, hash) for rounds past the
+	// head, bounded by tallyHorizon rounds.
+	tallies map[uint64]map[crypto.Digest]map[int]struct{}
+	quorum  int
+
+	now func() time.Duration
+}
+
+// tallyHorizon bounds how far past the head announce tallies are
+// kept; announces further ahead than this are dropped (the gap fill
+// will re-learn them when the head catches up).
+const tallyHorizon = 128
+
+// FetchKind tells the gateway what the read model needs next.
+type FetchKind int
+
+const (
+	// FetchNone: nothing to do.
+	FetchNone FetchKind = iota
+	// FetchBlock: request the block body for Hash (the next round).
+	FetchBlock
+	// FetchChain: rounds are missing; request the chain from FromRound.
+	FetchChain
+)
+
+// FetchAction is the read model's reaction to an announce.
+type FetchAction struct {
+	Kind      FetchKind
+	Hash      crypto.Digest
+	FromRound uint64
+}
+
+// NewReadModel builds the model at genesis. genesis and seed0 must
+// match the consensus cluster's configuration: the genesis head hash
+// is derived exactly the way ledger.New derives its genesis entry.
+func NewReadModel(genesis map[crypto.PublicKey]uint64, seed0 crypto.Digest, quorum, recentBlocks int, statusTTL time.Duration, now func() time.Duration) *ReadModel {
+	if quorum <= 0 {
+		quorum = 1
+	}
+	if recentBlocks <= 0 {
+		recentBlocks = 64
+	}
+	if statusTTL <= 0 {
+		statusTTL = 5 * time.Minute
+	}
+	if now == nil {
+		panic("gateway: ReadModel needs a clock")
+	}
+	gBlock := &ledger.Block{Round: 0, Seed: seed0}
+	return &ReadModel{
+		balances:  ledger.NewBalances(genesis),
+		head:      gBlock.Hash(),
+		headRound: 0,
+		recent:    make([]*ledger.Block, recentBlocks),
+		committed: cache.New[crypto.Digest, uint64](statusTTL),
+		pending:   cache.New[crypto.Digest, struct{}](statusTTL),
+		tallies:   make(map[uint64]map[crypto.Digest]map[int]struct{}),
+		quorum:    quorum,
+		now:       now,
+	}
+}
+
+// Observe records one commit announcement and returns the fetch the
+// gateway should issue, if any.
+func (rm *ReadModel) Observe(round uint64, hash crypto.Digest, announcer int) FetchAction {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if round <= rm.headRound {
+		return FetchAction{Kind: FetchNone}
+	}
+	if round > rm.headRound+tallyHorizon {
+		return FetchAction{Kind: FetchNone}
+	}
+	byHash, ok := rm.tallies[round]
+	if !ok {
+		byHash = make(map[crypto.Digest]map[int]struct{})
+		rm.tallies[round] = byHash
+	}
+	set, ok := byHash[hash]
+	if !ok {
+		set = make(map[int]struct{})
+		byHash[hash] = set
+	}
+	set[announcer] = struct{}{}
+	if len(set) < rm.quorum {
+		return FetchAction{Kind: FetchNone}
+	}
+	if round == rm.headRound+1 {
+		return FetchAction{Kind: FetchBlock, Hash: hash}
+	}
+	// A quorum exists for a round past the next one: rounds are
+	// missing (this gateway was down, partitioned, or just started).
+	return FetchAction{Kind: FetchChain, FromRound: rm.headRound + 1}
+}
+
+// Apply advances the head by one block if it extends the chain and —
+// when a quorum tally for its round exists — matches the
+// quorum-announced hash. It returns whether the block was applied
+// and, if so, the post-apply balances (for the mempool's nonce
+// floors; the pointer stays owned by the model and is only safe to
+// read before the next Apply).
+func (rm *ReadModel) Apply(b *ledger.Block) (bool, *ledger.Balances) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if b.Round != rm.headRound+1 || b.PrevHash != rm.head {
+		return false, nil
+	}
+	h := b.Hash()
+	if byHash, ok := rm.tallies[b.Round]; ok {
+		quorumHash, found := crypto.Digest{}, false
+		for hash, set := range byHash {
+			if len(set) >= rm.quorum {
+				quorumHash, found = hash, true
+				break
+			}
+		}
+		if found && quorumHash != h {
+			return false, nil
+		}
+	}
+	now := rm.now()
+	for i := range b.Txns {
+		tx := &b.Txns[i]
+		// The consensus cluster already validated and agreed on this
+		// block; per-tx apply errors here would mean our model diverged
+		// (and chain continuity rules that out for honest feeds).
+		_ = rm.balances.ApplyTx(tx)
+		id := tx.ID()
+		rm.committed.Put(id, b.Round, now)
+	}
+	rm.head = h
+	rm.headRound = b.Round
+	rm.recent[int(b.Round)%len(rm.recent)] = b
+	delete(rm.tallies, b.Round)
+	// Drop tallies that can never matter again (behind the head).
+	for r := range rm.tallies {
+		if r <= rm.headRound {
+			delete(rm.tallies, r)
+		}
+	}
+	return true, rm.balances
+}
+
+// NotePending marks a tx id admitted at this gateway, so status
+// queries distinguish "pending here" from "unknown".
+func (rm *ReadModel) NotePending(id crypto.Digest) {
+	rm.pending.Put(id, struct{}{}, rm.now())
+}
+
+// Head returns the model's round and head hash.
+func (rm *ReadModel) Head() (uint64, crypto.Digest) {
+	rm.mu.RLock()
+	defer rm.mu.RUnlock()
+	return rm.headRound, rm.head
+}
+
+// Balance answers an account query: balance, next expected nonce, and
+// the round the answer is current as of.
+func (rm *ReadModel) Balance(pk crypto.PublicKey) (money, nonce, asOfRound uint64) {
+	rm.mu.RLock()
+	defer rm.mu.RUnlock()
+	return rm.balances.Money[pk], rm.balances.Nonce[pk], rm.headRound
+}
+
+// TxStatus values.
+const (
+	StatusUnknown   = "unknown"
+	StatusPending   = "pending"
+	StatusCommitted = "committed"
+)
+
+// TxStatus answers a transaction status query. round is meaningful
+// only for StatusCommitted; status ages out of the index after the
+// configured TTL (an aged-out committed tx reads as unknown — clients
+// needing deep history query block-by-round or an archive node).
+func (rm *ReadModel) TxStatus(id crypto.Digest) (status string, round, asOfRound uint64) {
+	now := rm.now()
+	rm.mu.RLock()
+	asOfRound = rm.headRound
+	rm.mu.RUnlock()
+	// Cache lookups take their own locks; committed wins over pending
+	// (a committed tx may still sit in the pending index until TTL).
+	if r, ok := rm.committed.Get(id, now); ok {
+		return StatusCommitted, r, asOfRound
+	}
+	if rm.pending.Contains(id, now) {
+		return StatusPending, 0, asOfRound
+	}
+	return StatusUnknown, 0, asOfRound
+}
+
+// BlockAt returns a recently applied block by round, if it is still
+// in the ring.
+func (rm *ReadModel) BlockAt(round uint64) (*ledger.Block, bool) {
+	rm.mu.RLock()
+	defer rm.mu.RUnlock()
+	b := rm.recent[int(round)%len(rm.recent)]
+	if b == nil || b.Round != round {
+		return nil, false
+	}
+	return b, true
+}
+
+// SnapshotBalances deep-copies the current account state (the router
+// uses it to re-stage pending transactions without holding the lock).
+func (rm *ReadModel) SnapshotBalances() (*ledger.Balances, uint64) {
+	rm.mu.RLock()
+	defer rm.mu.RUnlock()
+	return rm.balances.Clone(), rm.headRound
+}
+
+// Lag reports how many rounds behind a reference head the model is.
+func (rm *ReadModel) Lag(refRound uint64) uint64 {
+	rm.mu.RLock()
+	defer rm.mu.RUnlock()
+	if refRound <= rm.headRound {
+		return 0
+	}
+	return refRound - rm.headRound
+}

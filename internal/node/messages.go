@@ -428,6 +428,49 @@ func (m *ChainReply) ID() crypto.Digest {
 // LimitKey: unicast, never relayed.
 func (m *ChainReply) LimitKey() string { return "" }
 
+// CommitAnnounce tells neighbors "round Round committed with this
+// block hash". It is the feed gateway read models tail (the access
+// tier's lag-tolerant view of the chain): each node announces its own
+// commits to its direct neighbors and the message is never relayed —
+// a gateway neighbors several consensus nodes, so it hears every round
+// announced independently by each of them and can demand a quorum of
+// matching announcers before fetching the body (BlockRequest →
+// BlockFill, or ChainRequest for gap fill). Consensus nodes ignore it.
+type CommitAnnounce struct {
+	Round     uint64
+	Hash      crypto.Digest
+	Announcer int
+}
+
+// WireSize implements network.Message.
+func (m *CommitAnnounce) WireSize() int { return 8 + 32 + 4 }
+
+// EncodeTo implements wire.Marshaler.
+func (m *CommitAnnounce) EncodeTo(e *wire.Encoder) {
+	e.Uint64(m.Round)
+	e.Fixed(m.Hash[:])
+	e.Int(m.Announcer)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *CommitAnnounce) DecodeFrom(d *wire.Decoder) {
+	m.Round = d.Uint64()
+	d.Fixed(m.Hash[:])
+	m.Announcer = d.Int()
+}
+
+// ID covers the announcer: each node announces each commit once.
+func (m *CommitAnnounce) ID() crypto.Digest {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], m.Round)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(m.Announcer))
+	return crypto.HashBytes("msg.commitann", buf[:], m.Hash[:])
+}
+
+// LimitKey: announcements are never relayed (each committer gossips
+// its own), so no relay limit is needed.
+func (m *CommitAnnounce) LimitKey() string { return "" }
+
 // --- Wire registry ----------------------------------------------------------
 
 // Frame type tags, one per gossip message type. These are wire format:
@@ -443,6 +486,7 @@ const (
 	TagChainRequest
 	TagChainReply
 	TagTxBatch
+	TagCommitAnnounce
 )
 
 // wireMessage is the constraint every gossip message satisfies: the
@@ -476,6 +520,8 @@ func MessageTag(m network.Message) (byte, bool) {
 		return TagChainReply, true
 	case *TxBatch:
 		return TagTxBatch, true
+	case *CommitAnnounce:
+		return TagCommitAnnounce, true
 	}
 	return 0, false
 }
@@ -504,6 +550,8 @@ func NewMessage(tag byte) network.Message {
 		return new(ChainReply)
 	case TagTxBatch:
 		return new(TxBatch)
+	case TagCommitAnnounce:
+		return new(CommitAnnounce)
 	}
 	return nil
 }

@@ -125,6 +125,12 @@ type Config struct {
 	// describes ("the final step ... could be pipelined with the next
 	// round (although our prototype does not do so)").
 	PipelineFinalStep bool
+	// AnnounceCommits makes the node gossip a CommitAnnounce to its
+	// direct neighbors after every durable commit. Gateways (the access
+	// tier) tail these announcements to advance their read models;
+	// consensus nodes ignore them and they are never relayed, so the
+	// per-round cost is one 44-byte frame per neighbor link.
+	AnnounceCommits bool
 	// Metrics is the registry every subsystem under this node records
 	// into: BA⋆ step counters, round counters, the trace phase
 	// histograms, and (unless TxFlow.Metrics overrides it) the
@@ -166,12 +172,12 @@ type Node struct {
 	// store's rotate-and-retry — commits that are NOT durable. Atomic:
 	// the pipelined final-step process and tests read it concurrently.
 	persistErrors atomic.Int64
-	net    Transport
-	sim    *vtime.Sim
-	proc   *vtime.Proc
-	reg    *metrics.Registry
-	tracer *trace.Tracer
-	ba     *agreement.Metrics
+	net           Transport
+	sim           *vtime.Sim
+	proc          *vtime.Proc
+	reg           *metrics.Registry
+	tracer        *trace.Tracer
+	ba            *agreement.Metrics
 	// Round outcome counters (registry-backed views of Stats).
 	roundsTotal, roundsEmpty, roundsFinal *metrics.Counter
 	persistErrCounter                     *metrics.Counter
@@ -483,8 +489,22 @@ func (n *Node) handleMessage(from int, m network.Message) network.Verdict {
 		// satisfy a request for a different block.
 		n.ledger.RegisterProposal(msg.Block)
 		return network.Verdict{Relay: false}
+
+	case *CommitAnnounce:
+		// Gateway read-model feed; consensus nodes have their own ledger
+		// and ignore it. Never relayed — each committer announces its own.
+		return network.Verdict{Relay: false}
 	}
 	return network.Verdict{}
+}
+
+// announceCommit tells direct neighbors this node just committed a
+// round (see Config.AnnounceCommits).
+func (n *Node) announceCommit(b *ledger.Block) {
+	if !n.cfg.AnnounceCommits || n.halted {
+		return
+	}
+	n.net.Gossip(n.ID, &CommitAnnounce{Round: b.Round, Hash: b.Hash(), Announcer: n.ID})
 }
 
 func (n *Node) handleVote(msg *VoteMsg, cost crypto.CostModel) network.Verdict {
@@ -972,17 +992,18 @@ func (n *Node) runRound() error {
 	if out.FinalCert != nil {
 		cert = out.FinalCert
 	}
-	commitStart := n.proc.Now()
+	commitStart := n.tracer.WallNow()
 	if err := n.ledger.Commit(block, cert); err != nil {
 		// Agreed on a block we cannot apply: treat like no-consensus so
 		// recovery reconciles us (should not happen in honest runs).
 		n.setContext(nil)
 		return fmt.Errorf("commit: %w", err)
 	}
-	n.tracer.Record(round, trace.PhaseCommit, 0, commitStart, n.proc.Now())
-	persistStart := n.proc.Now()
+	n.tracer.Record(round, trace.PhaseCommit, 0, commitStart, n.tracer.WallNow())
+	persistStart := n.tracer.WallNow()
 	n.persistPut(block, cert)
-	n.tracer.Record(round, trace.PhasePersist, 0, persistStart, n.proc.Now())
+	n.tracer.Record(round, trace.PhasePersist, 0, persistStart, n.tracer.WallNow())
+	n.announceCommit(block)
 	n.flow.Committed(block, n.ledger.Balances())
 	stat.Empty = block.IsEmpty()
 	stat.Value = out.Value
@@ -1019,15 +1040,16 @@ func (n *Node) finishRoundPipelined(ctx *agreement.Context, target *ledger.Block
 	stat.BinarySteps = bres.Steps
 
 	block := n.resolveBlock(ctx, bres.Value)
-	commitStart := n.proc.Now()
+	commitStart := n.tracer.WallNow()
 	if err := n.ledger.Commit(block, bres.Cert); err != nil {
 		n.setContext(nil)
 		return fmt.Errorf("commit: %w", err)
 	}
-	n.tracer.Record(ctx.Round, trace.PhaseCommit, 0, commitStart, n.proc.Now())
-	persistStart := n.proc.Now()
+	n.tracer.Record(ctx.Round, trace.PhaseCommit, 0, commitStart, n.tracer.WallNow())
+	persistStart := n.tracer.WallNow()
 	n.persistPut(block, bres.Cert)
-	n.tracer.Record(ctx.Round, trace.PhasePersist, 0, persistStart, n.proc.Now())
+	n.tracer.Record(ctx.Round, trace.PhasePersist, 0, persistStart, n.tracer.WallNow())
+	n.announceCommit(block)
 	n.flow.Committed(block, n.ledger.Balances())
 	stat.Empty = block.IsEmpty()
 	stat.Value = bres.Value
@@ -1095,9 +1117,9 @@ func (n *Node) proposeIfSelected(ctx *agreement.Context) {
 func (n *Node) buildBlock(round uint64) *ledger.Block {
 	prevSeed := n.ledger.PrevSeed()
 	out, proof := n.identity.VRFProve(ledger.SeedAlpha(prevSeed, round))
-	assembleStart := n.tracer.Now()
+	assembleStart := n.tracer.WallNow()
 	txs := n.flow.Assemble(n.ledger.Balances(), n.cfg.Params.BlockSize)
-	n.tracer.Record(round, trace.PhaseAssemble, 0, assembleStart, n.tracer.Now())
+	n.tracer.Record(round, trace.PhaseAssemble, 0, assembleStart, n.tracer.WallNow())
 	b := &ledger.Block{
 		Round:     round,
 		PrevHash:  n.ledger.HeadHash(),

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -13,6 +14,7 @@ import (
 
 	"algorand/internal/crypto"
 	"algorand/internal/diskfault"
+	"algorand/internal/gateway"
 	"algorand/internal/ledger"
 	"algorand/internal/ledger/diskstore"
 	"algorand/internal/metrics"
@@ -81,6 +83,18 @@ type Config struct {
 	// restart recovers from its crashed process's in-memory store, like
 	// every node does when DataDir is empty.
 	Diskless []bool
+	// Gateways adds that many access-tier gateway nodes (see
+	// internal/gateway) to the deployment, at network ids N..N+G-1.
+	// They hold zero stake — the money-weighted peer selection keeps
+	// them out of the consensus gossip core while the undirected
+	// neighbor union still connects each of them to several consensus
+	// nodes — and every consensus node announces its commits
+	// (node.Config.AnnounceCommits) so the gateways' read models can
+	// follow the chain.
+	Gateways int
+	// GatewayCfg overrides gateway sizing (Consensus and per-gateway
+	// Metrics/Done are always filled in by NewCluster).
+	GatewayCfg gateway.Config
 }
 
 // DefaultConfig returns a simulation with the paper's structure at
@@ -133,7 +147,22 @@ type Cluster struct {
 	// process would). Access via Registry(i)/Tracer(i).
 	registries []*metrics.Registry
 	tracers    []*trace.Tracer
+	// Access tier (Config.Gateways). Gateway i has network id N+i;
+	// access it via Gateway(i). gwRegistries parallels it.
+	gateways     []*gateway.Gateway
+	gwRegistries []*metrics.Registry
+	// workload retry/backoff bookkeeping (see Workload).
+	workStats *WorkloadStats
 }
+
+// NumGateways reports the access-tier size.
+func (c *Cluster) NumGateways() int { return len(c.gateways) }
+
+// Gateway returns access-tier node i (0-based; its network id is N+i).
+func (c *Cluster) Gateway(i int) *gateway.Gateway { return c.gateways[i] }
+
+// GatewayRegistry returns gateway i's metrics registry.
+func (c *Cluster) GatewayRegistry(i int) *metrics.Registry { return c.gwRegistries[i] }
 
 // Registry returns node i's metrics registry: the single place that
 // node's BA⋆, txflow, trace and round counters are recorded.
@@ -162,7 +191,12 @@ func NewCluster(cfg Config) *Cluster {
 	}
 	netCfg := cfg.Net
 	netCfg.Seed = cfg.Seed
-	c.Net = network.New(c.Sim, netCfg, cfg.N)
+	// The network carries consensus nodes at ids 0..N-1 and gateways at
+	// N..N+G-1. Gateways get weight zero: money-weighted peer selection
+	// then keeps the consensus core's topology essentially unchanged
+	// while each gateway still picks (and is therefore neighbored with)
+	// several weighted consensus nodes.
+	c.Net = network.New(c.Sim, netCfg, cfg.N+cfg.Gateways)
 
 	if cfg.Weights != nil && len(cfg.Weights) != cfg.N {
 		panic("sim: len(Weights) must equal N")
@@ -171,7 +205,7 @@ func NewCluster(cfg Config) *Cluster {
 		panic("sim: len(Diskless) must equal N")
 	}
 	c.Genesis = make(map[crypto.PublicKey]uint64, cfg.N)
-	weights := make([]uint64, cfg.N)
+	weights := make([]uint64, cfg.N+cfg.Gateways)
 	for i := 0; i < cfg.N; i++ {
 		id := c.Provider.NewIdentity(crypto.SeedFromUint64(uint64(cfg.Seed)<<32 | uint64(i)))
 		c.ids = append(c.ids, id)
@@ -193,6 +227,7 @@ func NewCluster(cfg Config) *Cluster {
 		ShardCount:        cfg.ShardCount,
 		PipelineFinalStep: cfg.PipelineFinalStep,
 		TxFlow:            cfg.TxFlow,
+		AnnounceCommits:   cfg.Gateways > 0,
 	}
 	c.archives = make([]*diskstore.Store, cfg.N)
 	c.registries = make([]*metrics.Registry, cfg.N)
@@ -211,7 +246,37 @@ func NewCluster(cfg Config) *Cluster {
 		n.StopAfterRound = cfg.Rounds
 		c.Nodes = append(c.Nodes, n)
 	}
+	for i := 0; i < cfg.Gateways; i++ {
+		gwCfg := cfg.GatewayCfg
+		if gwCfg.Consensus == nil {
+			gwCfg.Consensus = make([]int, cfg.N)
+			for j := range gwCfg.Consensus {
+				gwCfg.Consensus[j] = j
+			}
+		}
+		if gwCfg.Flow.Now == nil {
+			gwCfg.Flow.Now = c.Sim.Now
+		}
+		reg := metrics.NewRegistry()
+		gwCfg.Metrics = reg
+		gwCfg.Flow.Metrics = nil // New fills it with reg
+		gwCfg.Done = c.allNodesDone
+		gw := gateway.New(cfg.N+i, c.Sim, c.Net, c.Provider, gwCfg, c.Genesis, c.Seed0)
+		c.gateways = append(c.gateways, gw)
+		c.gwRegistries = append(c.gwRegistries, reg)
+	}
 	return c
+}
+
+// allNodesDone reports whether every consensus node has finished its
+// configured rounds (or halted) — the gateways' wind-down signal.
+func (c *Cluster) allNodesDone() bool {
+	for _, n := range c.Nodes {
+		if !n.Done() {
+			return false
+		}
+	}
+	return true
 }
 
 // instrumentedNodeCfg clones the cluster node config with a fresh
@@ -341,6 +406,9 @@ func (c *Cluster) Identity(i int) crypto.Identity { return c.ids[i] }
 func (c *Cluster) Run() time.Duration {
 	for _, n := range c.Nodes {
 		n.Start()
+	}
+	for _, gw := range c.gateways {
+		gw.Start()
 	}
 	horizon := c.Cfg.Horizon
 	if horizon == 0 {
@@ -511,49 +579,202 @@ func (c *Cluster) BandwidthPerNode(elapsed time.Duration) []float64 {
 
 // --- Transaction workload --------------------------------------------------
 
+// WorkloadStats counts what the load driver did. It exists because
+// the first version of the driver blind-resubmitted on every reject —
+// burning a nonce per attempt and flooding the duplicate filter (the
+// txflow bench once recorded 64k duplicates against 6.5k admissions).
+// The driver now advances a sender's nonce only on admission, honors
+// RetryAfterHint backoff per sender, and resyncs a desynced nonce
+// from the chain; these counters prove it.
+type WorkloadStats struct {
+	Submitted int64 // submission attempts
+	Admitted  int64 // accepted at the edge
+	Duplicate int64 // rejected as already-pending (counts as delivered)
+	StaleSync int64 // nonce resyncs after a stale-nonce reject
+	Backoffs  int64 // rejects that armed a per-sender retry timer
+	Retries   int64 // resubmissions after a backoff expired
+	Dropped   int64 // ticks skipped because the sender was backing off
+}
+
+// WorkloadStats returns the load driver's counters (zero value before
+// Workload/GatewayWorkload ran).
+func (c *Cluster) WorkloadStats() WorkloadStats {
+	if c.workStats == nil {
+		return WorkloadStats{}
+	}
+	return *c.workStats
+}
+
+// senderState is the driver's per-sender retry machinery.
+type senderState struct {
+	nonce   uint64
+	pending *ledger.Transaction // admitted=false tx awaiting retry
+	readyAt time.Duration       // virtual time the retry may fire
+	backoff time.Duration       // doubling fallback when no hint came
+}
+
+// workloadDriver runs the common submit loop: pick a random sender
+// each tick, submit its next payment (or retry its backed-off one)
+// through submit, and keep per-sender nonces honest via resync.
+func (c *Cluster) workloadDriver(p *vtime.Proc, rng *rand.Rand, interval time.Duration,
+	submit func(sender int, tx *ledger.Transaction) error,
+	resync func(pk crypto.PublicKey) uint64) {
+	senders := make([]senderState, len(c.ids))
+	st := c.workStats
+	for !c.Sim.Stopped() {
+		p.Sleep(interval)
+		if c.allNodesDone() {
+			// Nothing can commit this traffic anymore; let the sim drain.
+			return
+		}
+		from := rng.Intn(len(c.ids))
+		to := rng.Intn(len(c.ids))
+		if to == from {
+			to = (to + 1) % len(c.ids)
+		}
+		s := &senders[from]
+		var tx *ledger.Transaction
+		retrying := false
+		if s.pending != nil {
+			if p.Now() < s.readyAt {
+				st.Dropped++
+				continue
+			}
+			tx, retrying = s.pending, true
+		} else {
+			tx = &ledger.Transaction{
+				From:   c.ids[from].PublicKey(),
+				To:     c.ids[to].PublicKey(),
+				Amount: 1,
+				Nonce:  s.nonce,
+			}
+			tx.Sign(c.ids[from])
+		}
+		st.Submitted++
+		if retrying {
+			st.Retries++
+		}
+		err := submit(from, tx)
+		switch {
+		case err == nil:
+			st.Admitted++
+			s.nonce = tx.Nonce + 1
+			s.pending, s.backoff = nil, 0
+		case errors.Is(err, txflow.ErrDuplicate):
+			// Already pending (a retry raced its own earlier admission):
+			// the payment is in flight, move on.
+			st.Duplicate++
+			s.nonce = tx.Nonce + 1
+			s.pending, s.backoff = nil, 0
+		case errors.Is(err, txflow.ErrStaleNonce):
+			// Our nonce trails the chain (e.g. driver restarted or the
+			// resync raced a commit): re-read it and rebuild next tick.
+			st.StaleSync++
+			s.nonce = resync(c.ids[from].PublicKey())
+			s.pending, s.backoff = nil, 0
+		default:
+			// Load shed (rate window, pool bound, sender cap): honor the
+			// typed retry hint instead of blind-resubmitting, falling
+			// back to a doubling per-sender backoff.
+			st.Backoffs++
+			wait, ok := txflow.RetryAfterHint(err)
+			if !ok || wait <= 0 {
+				if s.backoff == 0 {
+					s.backoff = 250 * time.Millisecond
+				} else if s.backoff < 8*time.Second {
+					s.backoff *= 2
+				}
+				wait = s.backoff
+			}
+			s.pending, s.readyAt = tx, p.Now()+wait
+		}
+	}
+}
+
 // Workload continuously submits signed payments between random users at
 // the given rate (transactions per virtual second), modeling Figure 1's
-// transaction flow. Call before Run.
+// transaction flow, directly against each sender's own node. Rejects
+// back off per sender (see WorkloadStats). Call before Run.
 func (c *Cluster) Workload(txPerSecond float64, seed int64) {
 	if txPerSecond <= 0 {
 		return
 	}
 	rng := rand.New(rand.NewSource(seed))
-	nonces := make(map[int]uint64)
 	interval := time.Duration(float64(time.Second) / txPerSecond)
+	c.workStats = &WorkloadStats{}
 	c.Sim.Spawn("workload", func(p *vtime.Proc) {
-		for !c.Sim.Stopped() {
-			p.Sleep(interval)
-			from := rng.Intn(len(c.Nodes))
-			to := rng.Intn(len(c.Nodes))
-			if to == from {
-				to = (to + 1) % len(c.Nodes)
-			}
-			tx := &ledger.Transaction{
-				From:   c.ids[from].PublicKey(),
-				To:     c.ids[to].PublicKey(),
-				Amount: 1,
-				Nonce:  nonces[from],
-			}
-			nonces[from]++
-			tx.Sign(c.ids[from])
-			if err := c.Nodes[from].SubmitTx(tx); err != nil {
-				// Once every node has halted nothing can commit this
-				// traffic; stop so the simulation can drain instead of
-				// running to the horizon.
-				done := true
-				for _, n := range c.Nodes {
-					if !n.Done() {
-						done = false
-						break
-					}
-				}
-				if done {
+		c.workloadDriver(p, rng, interval,
+			func(sender int, tx *ledger.Transaction) error {
+				return c.Nodes[sender].SubmitTx(tx)
+			},
+			func(pk crypto.PublicKey) uint64 {
+				return c.Nodes[0].Ledger().Balances().Nonce[pk]
+			})
+	})
+}
+
+// GatewayWorkload drives the same payment stream through the access
+// tier: every submission goes to a gateway (round-robin per sender,
+// so a sender sticks to one gateway and its duplicate filter), and
+// nonce resyncs read the gateway read model — consensus nodes see
+// zero client traffic. Call before Run, with Config.Gateways > 0.
+func (c *Cluster) GatewayWorkload(txPerSecond float64, seed int64) {
+	if txPerSecond <= 0 || len(c.gateways) == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	interval := time.Duration(float64(time.Second) / txPerSecond)
+	c.workStats = &WorkloadStats{}
+	c.Sim.Spawn("gateway-workload", func(p *vtime.Proc) {
+		c.workloadDriver(p, rng, interval,
+			func(sender int, tx *ledger.Transaction) error {
+				gw := c.gateways[sender%len(c.gateways)]
+				gw.CountSession()
+				return gw.Submit(tx)
+			},
+			func(pk crypto.PublicKey) uint64 {
+				_, nonce, _ := c.gateways[0].ReadModel().Balance(pk)
+				return nonce
+			})
+	})
+}
+
+// QueryWorkload simulates a large read-only client population against
+// the access tier: sessionsPerSecond client sessions per virtual
+// second, spread evenly over the gateways. Each session connects,
+// queries the chain head and a random account's balance on the
+// gateway read model, and disconnects — consensus nodes serve none of
+// it. Sessions are multiplexed onto a 10 ms driver tick per gateway so
+// millions of them stay cheap under the virtual clock. Call before
+// Run, with Config.Gateways > 0.
+func (c *Cluster) QueryWorkload(sessionsPerSecond float64, seed int64) {
+	if sessionsPerSecond <= 0 || len(c.gateways) == 0 {
+		return
+	}
+	const tick = 10 * time.Millisecond
+	perGateway := sessionsPerSecond / float64(len(c.gateways))
+	for gi, gw := range c.gateways {
+		gw := gw
+		rng := rand.New(rand.NewSource(seed + int64(gi)))
+		// Accumulate fractional sessions so any rate is hit exactly in
+		// expectation.
+		c.Sim.Spawn("query-workload-"+fmt.Sprint(gi), func(p *vtime.Proc) {
+			carry := 0.0
+			for {
+				p.Sleep(tick)
+				if c.Sim.Stopped() || c.allNodesDone() {
 					return
 				}
+				carry += perGateway * tick.Seconds()
+				n := int(carry)
+				carry -= float64(n)
+				for i := 0; i < n; i++ {
+					pk := c.ids[rng.Intn(len(c.ids))].PublicKey()
+					gw.QuerySession(pk)
+				}
 			}
-		}
-	})
+		})
+	}
 }
 
 // CommittedTxCount returns how many real transactions node 0's chain

@@ -84,6 +84,7 @@ type RoundTrace struct {
 type Tracer struct {
 	mu      sync.Mutex
 	now     func() time.Duration
+	wall    func() time.Duration
 	cap     int
 	order   []uint64 // ring of round numbers, oldest first
 	rounds  map[uint64]*RoundTrace
@@ -97,8 +98,10 @@ func New(now func() time.Duration, capRounds int) *Tracer {
 	if capRounds <= 0 {
 		capRounds = 1024
 	}
+	epoch := time.Now()
 	return &Tracer{
 		now:     now,
+		wall:    func() time.Duration { return time.Since(epoch) },
 		cap:     capRounds,
 		rounds:  make(map[uint64]*RoundTrace),
 		byPhase: make(map[Phase]*metrics.Histogram),
@@ -107,6 +110,18 @@ func New(now func() time.Duration, capRounds int) *Tracer {
 
 // Now reads the tracer's clock.
 func (t *Tracer) Now() time.Duration { return t.now() }
+
+// WallNow reads the tracer's wall clock. Synchronous compute phases
+// (block assembly, commit, persist) cost zero *virtual* time — the
+// simulator only advances the clock for modeled waits — so recording
+// them on the round clock collapses every span to 0. Spans recorded on
+// WallNow instead measure real CPU time at microsecond resolution,
+// making sub-millisecond phases visible in the percentile digests.
+// Under a real deployment's wall-clock tracer the two clocks coincide.
+func (t *Tracer) WallNow() time.Duration { return t.wall() }
+
+// SetWallClock overrides the wall clock (deterministic tests pin it).
+func (t *Tracer) SetWallClock(wall func() time.Duration) { t.wall = wall }
 
 // RegisterMetrics tees every recorded span into per-phase duration
 // histograms (algorand_trace_phase_seconds{phase="..."}) in r, so
@@ -192,13 +207,19 @@ func (t *Tracer) Durations(phase Phase) []time.Duration {
 }
 
 // Summary is a percentile digest of a span population, in the shape
-// BENCH artifacts embed (milliseconds for readability).
+// BENCH artifacts embed: milliseconds for readability at round scale,
+// plus microsecond fields so sub-millisecond phases (block assembly,
+// commit→persist) don't flatten to 0 in the artifact.
 type Summary struct {
 	N     int     `json:"n"`
 	P50ms float64 `json:"p50_ms"`
 	P90ms float64 `json:"p90_ms"`
 	P99ms float64 `json:"p99_ms"`
 	MaxMs float64 `json:"max_ms"`
+	P50us float64 `json:"p50_us"`
+	P90us float64 `json:"p90_us"`
+	P99us float64 `json:"p99_us"`
+	MaxUs float64 `json:"max_us"`
 }
 
 // Summarize digests a sample of durations.
@@ -208,16 +229,17 @@ func Summarize(sample []time.Duration) Summary {
 	}
 	s := append([]time.Duration(nil), sample...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	at := func(q float64) float64 {
+	at := func(q float64) time.Duration {
 		idx := int(q * float64(len(s)-1))
-		return float64(s[idx]) / float64(time.Millisecond)
+		return s[idx]
 	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	p50, p90, p99, max := at(0.50), at(0.90), at(0.99), s[len(s)-1]
 	return Summary{
 		N:     len(s),
-		P50ms: at(0.50),
-		P90ms: at(0.90),
-		P99ms: at(0.99),
-		MaxMs: float64(s[len(s)-1]) / float64(time.Millisecond),
+		P50ms: ms(p50), P90ms: ms(p90), P99ms: ms(p99), MaxMs: ms(max),
+		P50us: us(p50), P90us: us(p90), P99us: us(p99), MaxUs: us(max),
 	}
 }
 

@@ -160,6 +160,7 @@ func gossipMessages() []network.Message {
 			Recipient: 1,
 			Nonce:     98,
 		},
+		&node.CommitAnnounce{Round: 12, Hash: crypto.HashBytes("c"), Announcer: 7},
 	}
 }
 
