@@ -298,3 +298,46 @@ func BenchmarkFullRoundEndToEnd(b *testing.B) {
 		_ = pts
 	}
 }
+
+// BenchmarkSnapshotSync is the §8.3 recovery-cost experiment behind
+// the checkpointed fast-sync path: at chain lengths 16, 64 and 256 it
+// rebuilds a node's ledger twice from a cold durable archive — full
+// genesis replay versus checkpoint verification + delta replay — and
+// demands the snapshot path be measurably sub-linear in chain length.
+// Each run rewrites BENCH_sync.json so the artifact tracks the tree.
+// SNAPSHOT_SOAK=N repeats the sweep N times under shifted seeds for
+// soak runs (the last sweep is the recorded artifact).
+func BenchmarkSnapshotSync(b *testing.B) {
+	sweeps := 1
+	if soak := os.Getenv("SNAPSHOT_SOAK"); soak != "" {
+		n, err := strconv.Atoi(soak)
+		if err != nil || n < 1 {
+			b.Fatalf("bad SNAPSHOT_SOAK %q", soak)
+		}
+		sweeps = n
+	}
+	var rep experiments.SyncReport
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < sweeps; s++ {
+			rep = experiments.SyncFastRestart(scale(), experiments.DefaultSyncLengths(), 10, int64(s)*1000)
+			for _, p := range rep.Points {
+				b.Logf("chain=%d checkpoint@%d delta=%d full=%.1fms snapshot=%.1fms speedup=%.1fx heads-equal=%v",
+					p.ChainLength, p.CheckpointRound, p.DeltaRounds,
+					p.FullReplayMs, p.SnapshotSyncMs, p.Speedup, p.HeadsEqual)
+			}
+			if !rep.SubLinear {
+				b.Fatalf("snapshot sync is not sub-linear: %+v", rep.Points)
+			}
+		}
+		last := rep.Points[len(rep.Points)-1]
+		b.ReportMetric(last.Speedup, "x-speedup@256")
+		b.ReportMetric(last.SnapshotSyncMs, "snapshot-ms@256")
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal report: %v", err)
+	}
+	if err := os.WriteFile("BENCH_sync.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_sync.json: %v", err)
+	}
+}

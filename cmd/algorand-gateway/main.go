@@ -30,7 +30,10 @@ import (
 
 	"algorand/internal/crypto"
 	"algorand/internal/gateway"
+	"algorand/internal/ledger"
 	"algorand/internal/metrics"
+	"algorand/internal/node"
+	"algorand/internal/params"
 	"algorand/internal/realnet"
 	"algorand/internal/vtime"
 )
@@ -46,7 +49,6 @@ func main() {
 		rounds   = flag.Uint64("rounds", 0, "exit once the read model reaches this round (0 = run until killed)")
 		maxConns = flag.Int("max-conns", 1024, "concurrent client connection cap")
 		workers  = flag.Int("tx-workers", 4, "edge signature-verification workers")
-		quorum   = flag.Int("announce-quorum", 2, "distinct announcers required before a block is applied")
 		metricsA = flag.String("metrics-addr", "", "listen address for the Prometheus-style text metrics endpoint (empty = off)")
 		verbose  = flag.Bool("v", false, "log transport errors")
 	)
@@ -94,12 +96,22 @@ func main() {
 	for i := range consensus {
 		consensus[i] = i
 	}
+	// The same committee-size derivation as algorand-node, so the read
+	// model verifies certificates under the parameters the cluster
+	// actually runs (the λ timing knobs do not enter verification).
+	prm := params.Default()
+	prm.TauProposer = uint64(voters)/2 + 1
+	prm.TauStep = uint64(voters) * 3
+	prm.TauFinal = uint64(voters) * 6
+	prm.MaxSteps = 12
+
 	cfg := gateway.Config{
-		Consensus:      consensus,
-		AnnounceQuorum: *quorum,
-		FlowWorkers:    *workers,
-		MaxConns:       *maxConns,
-		Metrics:        reg,
+		Consensus:   consensus,
+		Committee:   node.CommitteeParamsFor(prm),
+		LedgerCfg:   ledger.DefaultConfig(),
+		FlowWorkers: *workers,
+		MaxConns:    *maxConns,
+		Metrics:     reg,
 	}
 	// The TCP server submits from its own goroutines, so the pipeline
 	// clock must be readable off the scheduler: use the wall clock.
@@ -153,8 +165,8 @@ func main() {
 		st.Sessions, st.Queries, st.Submitted, st.Admitted, st.Rejected)
 	fmt.Printf("  routed: %d txs in %d batches (%d bytes), resent=%d\n",
 		st.TxsRouted, st.BatchesRouted, st.BytesRouted, st.Resent)
-	fmt.Printf("  read model: %d blocks applied, %d announces (%d stale), %d chain fills, %d fetches\n",
-		st.BlocksApplied, st.Announces, st.StaleAnnounces, st.ChainFills, st.Fetches)
+	fmt.Printf("  read model: %d blocks applied, %d announces (%d stale), %d chain fills, %d cert rejects\n",
+		st.BlocksApplied, st.Announces, st.StaleAnnounces, st.ChainFills, st.CertRejects)
 	fmt.Printf("  edge pool: %d pending (%d bytes); conn rejects=%d frame rejects=%d\n",
 		st.Pending, st.PendingBytes, st.ConnRejects, st.FrameRejects)
 }

@@ -49,6 +49,7 @@ func main() {
 		submit   = flag.String("submit-addr", "", "listen address for the TCP/JSON transaction submission endpoint (empty = off)")
 		workers  = flag.Int("tx-workers", 4, "signature-verification workers for gossip batches (0 = verify inline)")
 		dataDir  = flag.String("data-dir", "", "directory for the durable WAL archive; restarts recover the chain from it (empty = in-memory only)")
+		chkEvery = flag.Uint64("checkpoint-interval", 0, "journal a certified state checkpoint every N finally-certified rounds; restarts re-base onto the newest verified checkpoint and replay only the delta (0 = off, needs -data-dir)")
 		gateways = flag.Int("gateways", 0, "how many trailing address-book entries are access-tier gateways (run algorand-gateway there)")
 	)
 	flag.Parse()
@@ -139,6 +140,7 @@ func main() {
 		}
 		defer archive.Close()
 		cfg.Archive = archive
+		cfg.CheckpointInterval = *chkEvery
 	}
 
 	nd := node.New(*id, sim, transport, provider, self, cfg, genesis, seed0)
@@ -146,6 +148,18 @@ func main() {
 
 	var restored uint64
 	if archive != nil {
+		// Snapshot-first: re-base onto the newest on-disk checkpoint if
+		// its Merkle root and certificate verify (the disk is trusted no
+		// more than a peer), so the archive replay below covers only the
+		// delta past it.
+		if chk, ok := archive.Checkpoint(); ok {
+			adopted, err := nd.RestoreFromCheckpoint(chk)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "node %d: on-disk checkpoint rejected (%v), replaying the full archive\n", *id, err)
+			} else if adopted {
+				fmt.Printf("node %d re-based onto checkpoint at round %d\n", *id, chk.Round())
+			}
+		}
 		restored, err = nd.RestoreFromArchive(archive.Recovered())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "archive restore: %v\n", err)
@@ -161,7 +175,9 @@ func main() {
 		*id, transport.Addr(), pk, *rounds)
 
 	transport.Start()
-	if restored > 0 {
+	if restored > 0 || nd.Ledger().ChainLength() > 0 {
+		// Anything recovered — archive replay or a checkpoint re-base —
+		// starts behind the network; sync the delta before joining.
 		nd.StartAfterSync(time.Minute)
 	} else {
 		nd.Start()

@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "experiment: figure3|figure5|figure6|figure7|figure8|throughput|costs|timeouts|steps|ablations|pipeline|coin|all")
+		run    = flag.String("run", "all", "experiment: figure3|figure5|figure6|figure7|figure8|throughput|costs|timeouts|steps|ablations|pipeline|coin|sync|all")
 		users  = flag.Float64("users", 1, "user-count multiplier")
 		rounds = flag.Uint64("rounds", 3, "rounds per run")
 	)
@@ -135,6 +135,19 @@ func main() {
 		fmt.Println("# Common-coin ablation under the §7.4 vote-splitting adversary")
 		res := experiments.RunCoinAblation(8, 42)
 		fmt.Println(res.Summary())
+		fmt.Println()
+	}
+	if want("sync") {
+		ran = true
+		fmt.Println("# Cold-restart cost: genesis replay vs checkpoint+delta (§8.3)")
+		fmt.Println("chain\tcheckpoint\tdelta\tfull_ms\tsnapshot_ms\tspeedup\theads_equal")
+		rep := experiments.SyncFastRestart(scale, experiments.DefaultSyncLengths(), 10, 0)
+		for _, p := range rep.Points {
+			fmt.Printf("%d\t%d\t%d\t%.1f\t%.1f\t%.1f\t%v\n", p.ChainLength,
+				p.CheckpointRound, p.DeltaRounds, p.FullReplayMs, p.SnapshotSyncMs,
+				p.Speedup, p.HeadsEqual)
+		}
+		fmt.Printf("sub_linear\t%v\n", rep.SubLinear)
 		fmt.Println()
 	}
 

@@ -146,7 +146,7 @@ func TestChaosAdversarialDirected(t *testing.T) {
 			name: "adversarial-kitchen-sink",
 			s: Scenario{Seed: 116, Nodes: 16, Rounds: 6, TxLoad: 25,
 				StakeDist: StakePareto, StakeAlpha: 1.4,
-				Grinders:  []int{6}, GrindHoldBack: time.Second,
+				Grinders: []int{6}, GrindHoldBack: time.Second,
 				Limbo: []LimboFault{{Start: 4 * time.Second, End: 25 * time.Second,
 					HoldProb: 0.15, HoldFor: 3 * time.Second, HoldJitter: time.Second,
 					From: -1, To: -1}},

@@ -169,6 +169,30 @@ func TestChaosDirected(t *testing.T) {
 			},
 		},
 		{
+			// Checkpointed fast recovery: every node snapshots its account
+			// state on a 2-round grid; the crashed node's replacement
+			// re-bases onto its newest on-disk checkpoint (certificate and
+			// Merkle root re-verified — the disk is trusted no more than a
+			// peer) and replays only the delta. The invariant suite then
+			// cross-checks every checkpoint against chain replay, and the
+			// durability check validates the recovered checkpoint records.
+			name: "checkpointed-crash-restart",
+			s: Scenario{Seed: 110, Nodes: 14, Rounds: 8, Durable: true, Checkpoint: 2,
+				Crashes: []CrashFault{{Node: 6, At: 30 * time.Second, RestartAt: 40 * time.Second}}},
+			post: func(t *testing.T, res *Result) {
+				n := res.Cluster.Nodes[6]
+				if _, ok := n.Checkpoint(); !ok {
+					t.Error("restarted node holds no checkpoint")
+				}
+				if base := chainBase(n.Ledger()); base == 0 {
+					t.Error("restart took the full-replay path; the snapshot-first re-base never happened")
+				} else {
+					t.Logf("node 6 re-based onto checkpoint at round %d, chain %d",
+						base, n.Ledger().ChainLength())
+				}
+			},
+		},
+		{
 			// Everything at once: equivocators, a partition, background
 			// loss, a DoS'd node, and a crash spanning the heal.
 			name: "kitchen-sink",

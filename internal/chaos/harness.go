@@ -93,6 +93,7 @@ func RunWith(s Scenario, preStart func(c *sim.Cluster)) *Result {
 	cfg.Params.BlockSize = 4096
 	cfg.RecoveryInterval = recoveryInterval
 	cfg.Seed = s.Seed
+	cfg.CheckpointInterval = s.Checkpoint
 
 	honest := cfg.Params
 	if s.TStepOverride > 0 {

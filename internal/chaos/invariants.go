@@ -62,6 +62,26 @@ type CheckOptions struct {
 	HealChains []uint64
 }
 
+// chainBase returns the round a node's committed-chain walk can start
+// after: 0 for a full chain, or the snapshot anchor round when the
+// ledger was re-based by checkpoint fast sync and holds no blocks
+// below it. Rounds at or below the base are vouched for by the
+// verified checkpoint (certificate + Merkle root), not by replay.
+func chainBase(l *ledger.Ledger) uint64 {
+	if l.ChainLength() == 0 {
+		return 0
+	}
+	if _, ok := l.BlockAt(1); ok {
+		return 0
+	}
+	for r := uint64(2); r <= l.ChainLength(); r++ {
+		if _, ok := l.BlockAt(r); ok {
+			return r
+		}
+	}
+	return l.ChainLength()
+}
+
 // CheckInvariants walks every node's ledger after the run and asserts
 // the paper's core properties. It returns all violations found (empty
 // means the run upheld every invariant).
@@ -98,15 +118,21 @@ func CheckInvariants(c *sim.Cluster, opt CheckOptions) []Violation {
 	// reconciled are within spec; what must hold at the end of the run
 	// is that honest chains (including crashed nodes' frozen prefixes)
 	// are prefixes of one common chain.
+	// The reference chain prefers genesis-rooted history over raw
+	// length: a snapshot-rebased ledger holds nothing below its anchor,
+	// so electing one as reference would make every full node look like
+	// it had extra, uncheckable rounds.
 	var ref *ledger.Ledger
 	refID := -1
+	refBase := uint64(0)
 	for _, n := range c.Nodes {
 		if !honest(n.ID) {
 			continue
 		}
-		if ref == nil || n.Ledger().ChainLength() > ref.ChainLength() {
-			ref = n.Ledger()
-			refID = n.ID
+		l := n.Ledger()
+		b := chainBase(l)
+		if ref == nil || b < refBase || (b == refBase && l.ChainLength() > ref.ChainLength()) {
+			ref, refID, refBase = l, n.ID, b
 		}
 	}
 	if ref != nil && !opt.AllowTentativeForks {
@@ -115,7 +141,19 @@ func CheckInvariants(c *sim.Cluster, opt CheckOptions) []Violation {
 				continue
 			}
 			l := n.Ledger()
-			for r := uint64(1); r <= l.ChainLength(); r++ {
+			// A snapshot-synced ledger holds nothing below its checkpoint
+			// anchor; the walk starts there (the anchor block itself is
+			// present and must match the reference chain). If even the
+			// reference is re-based, rounds below its anchor exist on
+			// neither side and cannot be compared.
+			start := chainBase(l)
+			if refBase > start {
+				start = refBase
+			}
+			if start == 0 {
+				start = 1
+			}
+			for r := start; r <= l.ChainLength(); r++ {
 				mine, ok1 := l.BlockAt(r)
 				theirs, ok2 := ref.BlockAt(r)
 				if !ok1 || !ok2 {
@@ -166,7 +204,11 @@ func CheckInvariants(c *sim.Cluster, opt CheckOptions) []Violation {
 				baCommitted[st.Round] = st.Value
 			}
 		}
-		for r := uint64(1); r <= l.ChainLength(); r++ {
+		// On a snapshot-synced ledger the anchor round's proof is its
+		// checkpoint (validated in the replay section below); the
+		// per-round walk covers everything past it.
+		base := chainBase(l)
+		for r := base + 1; r <= l.ChainLength(); r++ {
 			b, ok := l.BlockAt(r)
 			prev, okPrev := l.BlockAt(r - 1)
 			if !ok || !okPrev {
@@ -256,10 +298,95 @@ func CheckInvariants(c *sim.Cluster, opt CheckOptions) []Violation {
 		l := n.Ledger()
 		bal := ledger.NewBalances(c.Genesis)
 		seen := map[crypto.Digest]uint64{}
-		for r := uint64(1); r <= l.ChainLength(); r++ {
+		start := uint64(1)
+		chk, hasChk := n.Checkpoint()
+		if hasChk {
+			if _, err := chk.VerifyState(); err != nil {
+				vs = append(vs, Violation{Kind: "checkpoint", Node: n.ID, Round: chk.Round(),
+					Detail: fmt.Sprintf("held checkpoint fails verification: %v", err)})
+				hasChk = false
+			}
+		}
+		if base := chainBase(l); base > 0 {
+			if ref != nil && chainBase(ref) == 0 {
+				// A genesis-rooted reference exists: replay its prefix to
+				// rebuild the state at the anchor independently, then
+				// demand the node's anchor state root match it. (The
+				// prefix check above already pinned the anchor block to
+				// the reference chain.)
+				ok := true
+				for r := uint64(1); ok && r <= base; r++ {
+					b, okB := ref.BlockAt(r)
+					if !okB {
+						ok = false
+						break
+					}
+					for i := range b.Txns {
+						seen[b.Txns[i].ID()] = r
+						if bal.ApplyTx(&b.Txns[i]) != nil {
+							ok = false
+							break
+						}
+					}
+				}
+				if !ok {
+					vs = append(vs, Violation{Kind: "checkpoint", Node: n.ID, Round: base,
+						Detail: "cannot rebuild snapshot anchor state from the reference chain"})
+					continue
+				}
+				if b, okB := l.BlockAt(base); okB {
+					if got := bal.Root(); got != b.StateRoot {
+						vs = append(vs, Violation{Kind: "checkpoint", Node: n.ID, Round: base,
+							Detail: fmt.Sprintf("anchor state root %x, chain replay gives %x",
+								b.StateRoot[:4], got[:4])})
+						continue
+					}
+				}
+				start = base + 1
+			} else if hasChk && chk.Round() >= base {
+				// No honest node kept the full prefix (the reference is
+				// itself re-based), so the anchor cannot be rebuilt
+				// independently; the verified checkpoint's table is the
+				// state baseline, after pinning its block to this chain.
+				// Duplicates against pre-anchor history are undetectable
+				// here — that information left the network with the
+				// prefix.
+				b, okB := l.BlockAt(chk.Round())
+				if !okB || b.Hash() != chk.Block.Hash() {
+					vs = append(vs, Violation{Kind: "checkpoint", Node: n.ID, Round: chk.Round(),
+						Detail: "checkpoint does not match the committed chain at its round"})
+					continue
+				}
+				bal = chk.Balances()
+				start = chk.Round() + 1
+			} else {
+				// Re-based with no usable baseline: nothing to replay
+				// against. The structural checks above still ran.
+				continue
+			}
+		}
+		// A checkpoint below the walk's start still has to be for the
+		// chain's own block (the walk only covers start..end).
+		if hasChk && chk.Round() < start {
+			if b, okB := l.BlockAt(chk.Round()); okB && b.Hash() != chk.Block.Hash() {
+				vs = append(vs, Violation{Kind: "checkpoint", Node: n.ID, Round: chk.Round(),
+					Detail: "checkpoint does not match the committed chain at its round"})
+			}
+		}
+		for r := start; r <= l.ChainLength(); r++ {
 			b, ok := l.BlockAt(r)
 			if !ok {
 				continue // chain-gap already reported above
+			}
+			// Every checkpoint a node holds must be exactly the state the
+			// committed chain replays to at that round — a checkpoint that
+			// diverges from its own chain would poison every peer that
+			// fast-syncs from it.
+			if hasChk && r == chk.Round() {
+				if bh, ch := b.Hash(), chk.Block.Hash(); bh != ch {
+					vs = append(vs, Violation{Kind: "checkpoint", Node: n.ID, Round: r,
+						Detail: fmt.Sprintf("checkpoint block %x, chain block %x", ch[:4], bh[:4])})
+				}
 			}
 			for i := range b.Txns {
 				tx := &b.Txns[i]

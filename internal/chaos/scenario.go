@@ -166,6 +166,14 @@ type Scenario struct {
 	// chain equal the network's, byte for byte.
 	Durable bool
 
+	// Checkpoint, when > 0, makes every node write a state checkpoint
+	// (full account table + Merkle root + certificate) each time its
+	// chain commits a round on this grid. Durable restarts then take the
+	// snapshot-first recovery path — re-base onto the newest verified
+	// on-disk checkpoint, replay only the delta — and the invariant
+	// suite cross-checks every checkpoint against chain replay.
+	Checkpoint uint64
+
 	// TStepOverride, when > 0, weakens every node's ordinary-step vote
 	// threshold until TStepRestoreAt — the §8.2 fork generator: during a
 	// partition both halves can then commit *tentative* blocks, and the
@@ -375,6 +383,9 @@ func (s *Scenario) String() string {
 	if s.Durable {
 		b.WriteString(" durable")
 	}
+	if s.Checkpoint > 0 {
+		fmt.Fprintf(&b, " checkpoint=%d", s.Checkpoint)
+	}
 	return b.String()
 }
 
@@ -547,6 +558,13 @@ func RandomScenario(seed int64) Scenario {
 	if rng.Float64() < 0.3 {
 		s.Overload = true
 		s.TxLoad = float64(150 + rng.Intn(150)) // 150..299 tx/s
+	}
+
+	// State checkpoints (drawn last, so pre-existing seeds keep their
+	// fault schedules): a small grid, so short runs still cross it and
+	// durable restarts exercise the snapshot-first recovery path.
+	if rng.Float64() < 0.4 {
+		s.Checkpoint = uint64(2 + rng.Intn(3)) // every 2..4 rounds
 	}
 	return s
 }

@@ -238,3 +238,28 @@ func TestPipelineFinalStep(t *testing.T) {
 			res.PipelinedFinalRate, res.BaselineFinalRate)
 	}
 }
+
+func TestSyncFastRestartSubLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	// Short chains keep the test fast; the shape claim — snapshot sync
+	// flat while full replay grows — shows up already at 8 vs 32.
+	rep := SyncFastRestart(DefaultScale(), []uint64{8, 32}, 5, 0)
+	if len(rep.Points) != 2 {
+		t.Fatalf("missing points: %+v", rep.Points)
+	}
+	for _, p := range rep.Points {
+		if !p.HeadsEqual {
+			t.Fatalf("chain %d: snapshot path diverged from genesis replay", p.ChainLength)
+		}
+		if p.CheckpointRound == 0 || p.CheckpointRound%5 != 0 {
+			t.Fatalf("chain %d: checkpoint at %d, off the 5-round grid", p.ChainLength, p.CheckpointRound)
+		}
+	}
+	long := rep.Points[1]
+	if long.SnapshotSyncMs >= long.FullReplayMs {
+		t.Fatalf("snapshot sync (%.2fms) not cheaper than full replay (%.2fms) at chain %d",
+			long.SnapshotSyncMs, long.FullReplayMs, long.ChainLength)
+	}
+}

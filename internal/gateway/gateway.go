@@ -17,8 +17,9 @@
 //     sender-hash to a cluster of consensus nodes and coalesces
 //     submissions into TxBatch gossip (see router.go);
 //   - answers queries from a lag-tolerant read model fed by
-//     CommitAnnounce gossip — never by calling into a consensus
-//     node's lock (see readmodel.go).
+//     CommitAnnounce gossip, applying only blocks whose BA⋆
+//     certificates verify against the committee — never by calling
+//     into a consensus node's lock (see readmodel.go).
 //
 // Consensus nodes carry zero client connections: clients talk to
 // gateways, gateways talk consensus-gossip. A gateway holds no stake,
@@ -68,11 +69,17 @@ type Config struct {
 	// ResendBudget bounds the bytes re-sent per ResendInterval tick.
 	// Default 256 KiB.
 	ResendBudget int
-	// AnnounceQuorum is how many distinct consensus nodes must announce
-	// the same (round, hash) before the read model fetches and applies
-	// the block. Higher tolerates more Byzantine announcers at the cost
-	// of lag. Default 2, clamped to len(Consensus).
-	AnnounceQuorum int
+	// Committee configures BA⋆ certificate verification in the read
+	// model: τ/threshold per certificate kind plus the step bound. It
+	// must match the consensus cluster's protocol parameters (see
+	// node.CommitteeParamsFor). The zero value verifies nothing and
+	// therefore applies nothing — a misconfigured gateway fails safe.
+	Committee ledger.CommitteeParams
+	// LedgerCfg mirrors the consensus nodes' ledger configuration
+	// (seed refresh interval, look-back distance, timestamp skew); the
+	// read model's chain replica needs it to derive the same sortition
+	// seeds and look-back weights the committee used.
+	LedgerCfg ledger.Config
 	// RecentBlocks bounds the ring of full blocks retained for
 	// block-by-round queries. Default 64.
 	RecentBlocks int
@@ -133,12 +140,6 @@ func (c Config) withDefaults() Config {
 	if c.ResendBudget <= 0 {
 		c.ResendBudget = 256 << 10
 	}
-	if c.AnnounceQuorum <= 0 {
-		c.AnnounceQuorum = 2
-	}
-	if len(c.Consensus) > 0 && c.AnnounceQuorum > len(c.Consensus) {
-		c.AnnounceQuorum = len(c.Consensus)
-	}
 	if c.RecentBlocks <= 0 {
 		c.RecentBlocks = 64
 	}
@@ -176,9 +177,8 @@ type Gateway struct {
 	// resendAt is the virtual time of the next pending-tx resend.
 	resendAt time.Duration
 
-	// fetchedAt tracks outstanding block/chain fetches per target hash
-	// (or round, for chain fills) so one missing block does not turn
-	// every announce into a request.
+	// fetchedAt tracks outstanding chain fetches (keyed by starting
+	// round) so one gap does not turn every announce into a request.
 	fetchedAt map[crypto.Digest]time.Duration
 	reqNonce  uint64
 
@@ -189,14 +189,14 @@ type Gateway struct {
 }
 
 type gwCounters struct {
-	submitted, admitted, rejected      *metrics.Counter
-	queries                            *metrics.Counter
-	batchesRouted, txsRouted           *metrics.Counter
-	bytesRouted, resent                *metrics.Counter
-	announces, blocksApplied           *metrics.Counter
-	chainFills, fetches, staleAnnounce *metrics.Counter
-	connRejects, frameRejects          *metrics.Counter
-	sessions                           *metrics.Counter
+	submitted, admitted, rejected          *metrics.Counter
+	queries                                *metrics.Counter
+	batchesRouted, txsRouted               *metrics.Counter
+	bytesRouted, resent                    *metrics.Counter
+	announces, blocksApplied               *metrics.Counter
+	chainFills, certRejects, staleAnnounce *metrics.Counter
+	connRejects, frameRejects              *metrics.Counter
+	sessions                               *metrics.Counter
 }
 
 // New builds a gateway with network identity id. The genesis account
@@ -216,12 +216,13 @@ func New(id int, sim *vtime.Sim, net node.Transport, provider crypto.Provider, c
 		cfg.Flow.Now = sim.Now
 	}
 	g := &Gateway{
-		ID:        id,
-		cfg:       cfg,
-		sim:       sim,
-		net:       net,
-		flow:      txflow.New(provider, cfg.Flow),
-		rm:        NewReadModel(genesis, seed0, cfg.AnnounceQuorum, cfg.RecentBlocks, cfg.StatusTTL, sim.Now),
+		ID:   id,
+		cfg:  cfg,
+		sim:  sim,
+		net:  net,
+		flow: txflow.New(provider, cfg.Flow),
+		rm: NewReadModel(provider, cfg.LedgerCfg, cfg.Committee, genesis, seed0,
+			cfg.RecentBlocks, cfg.StatusTTL, sim.Now),
 		rr:        make([]int, cfg.Clusters),
 		fetchedAt: make(map[crypto.Digest]time.Duration),
 		reg:       reg,
@@ -238,7 +239,7 @@ func New(id int, sim *vtime.Sim, net node.Transport, provider crypto.Provider, c
 		announces:     reg.Counter("algorand_gateway_commit_announces_total", "CommitAnnounce messages observed"),
 		blocksApplied: reg.Counter("algorand_gateway_blocks_applied_total", "committed blocks applied to the read model"),
 		chainFills:    reg.Counter("algorand_gateway_chain_fills_total", "gap-filling chain requests issued"),
-		fetches:       reg.Counter("algorand_gateway_block_fetches_total", "block-body fetches issued"),
+		certRejects:   reg.Counter("algorand_gateway_cert_rejects_total", "fetched chain runs rejected for failing certificate verification"),
 		staleAnnounce: reg.Counter("algorand_gateway_stale_announces_total", "announces at or below the read-model head"),
 		connRejects:   reg.Counter("algorand_gateway_conn_rejects_total", "connections rejected at the connection cap"),
 		frameRejects:  reg.Counter("algorand_gateway_frame_rejects_total", "frames rejected as oversized or malformed"),
@@ -337,50 +338,39 @@ func (g *Gateway) handleMessage(from int, m network.Message) network.Verdict {
 	case *node.CommitAnnounce:
 		g.c.announces.Inc()
 		g.observeAnnounce(msg)
-	case *node.BlockFill:
-		g.applyBlocks([]*ledger.Block{msg.Block})
 	case *node.ChainReply:
 		if msg.Recipient == g.ID {
-			g.applyBlocks(msg.Blocks)
+			g.applyRun(msg.Blocks, msg.Certs)
 		}
 	}
 	return network.Verdict{}
 }
 
 // observeAnnounce feeds one commit announcement to the read model and
-// issues whatever fetch it asks for.
+// issues whatever fetch it asks for. Block bodies always arrive as
+// ChainReply runs — the certificates ride along, and only they can
+// move the head.
 func (g *Gateway) observeAnnounce(msg *node.CommitAnnounce) {
-	act := g.rm.Observe(msg.Round, msg.Hash, msg.Announcer)
-	now := g.sim.Now()
-	switch act.Kind {
-	case FetchNone:
-	case FetchBlock:
-		// One outstanding fetch per hash per second: every consensus
-		// neighbor announces every round, and each announce past quorum
-		// would otherwise re-request the same block.
-		if at, ok := g.fetchedAt[act.Hash]; ok && now-at < time.Second {
-			return
-		}
-		g.fetchedAt[act.Hash] = now
-		g.gcFetches(now)
-		g.c.fetches.Inc()
-		g.reqNonce++
-		g.net.Unicast(g.ID, msg.Announcer, &node.BlockRequest{
-			Hash: act.Hash, Requester: g.ID, Nonce: g.reqNonce,
-		})
-	case FetchChain:
-		key := crypto.HashUint64("gateway.chainfill", act.FromRound)
-		if at, ok := g.fetchedAt[key]; ok && now-at < time.Second {
-			return
-		}
-		g.fetchedAt[key] = now
-		g.gcFetches(now)
-		g.c.chainFills.Inc()
-		g.reqNonce++
-		g.net.Unicast(g.ID, msg.Announcer, &node.ChainRequest{
-			FromRound: act.FromRound, MaxBlocks: 64, Requester: g.ID, Nonce: g.reqNonce,
-		})
+	act := g.rm.Observe(msg.Round)
+	if act.Kind != FetchChain {
+		g.c.staleAnnounce.Inc()
+		return
 	}
+	now := g.sim.Now()
+	// One outstanding fetch per starting round per second: every
+	// consensus neighbor announces every round, and each announce
+	// would otherwise re-request the same run.
+	key := crypto.HashUint64("gateway.chainfill", act.FromRound)
+	if at, ok := g.fetchedAt[key]; ok && now-at < time.Second {
+		return
+	}
+	g.fetchedAt[key] = now
+	g.gcFetches(now)
+	g.c.chainFills.Inc()
+	g.reqNonce++
+	g.net.Unicast(g.ID, msg.Announcer, &node.ChainRequest{
+		FromRound: act.FromRound, MaxBlocks: 64, Requester: g.ID, Nonce: g.reqNonce,
+	})
 }
 
 // gcFetches bounds the outstanding-fetch map (entries older than a
@@ -396,21 +386,19 @@ func (g *Gateway) gcFetches(now time.Duration) {
 	}
 }
 
-// applyBlocks advances the read model and, for each applied block,
-// clears committed transactions from the gateway mempool so they are
+// applyRun advances the read model through a fetched chain run and,
+// for each block that actually committed (certificate verified),
+// clears its transactions from the gateway mempool so they are
 // neither re-sent nor re-admitted.
-func (g *Gateway) applyBlocks(blocks []*ledger.Block) {
-	for _, b := range blocks {
-		if b == nil {
-			continue
-		}
-		applied, balances := g.rm.Apply(b)
-		if !applied {
-			continue
-		}
+func (g *Gateway) applyRun(blocks []*ledger.Block, certs []*ledger.Certificate) {
+	applied, balances, err := g.rm.ApplyRun(blocks, certs)
+	if err != nil {
+		g.c.certRejects.Inc()
+	}
+	for _, b := range applied {
 		g.c.blocksApplied.Inc()
 		// Nonce floors + pending eviction, same call the node makes on
-		// commit. balances is the read model's post-apply state.
+		// commit. balances is the read model's post-run state.
 		g.flow.Committed(b, balances)
 	}
 }
@@ -442,17 +430,17 @@ func (g *Gateway) run(p *vtime.Proc) {
 // Stats is a point-in-time snapshot of the gateway's registry-backed
 // counters plus the embedded pipeline's.
 type Stats struct {
-	Submitted, Admitted, Rejected         int64
-	Queries, Sessions                     int64
-	BatchesRouted, TxsRouted, BytesRouted int64
-	Resent                                int64
-	Announces, BlocksApplied              int64
-	ChainFills, Fetches, StaleAnnounces   int64
-	ConnRejects, FrameRejects             int64
-	HeadRound                             uint64
-	Pending                               int
-	PendingBytes                          int
-	Flow                                  txflow.Stats
+	Submitted, Admitted, Rejected           int64
+	Queries, Sessions                       int64
+	BatchesRouted, TxsRouted, BytesRouted   int64
+	Resent                                  int64
+	Announces, BlocksApplied                int64
+	ChainFills, CertRejects, StaleAnnounces int64
+	ConnRejects, FrameRejects               int64
+	HeadRound                               uint64
+	Pending                                 int
+	PendingBytes                            int
+	Flow                                    txflow.Stats
 }
 
 // Stats snapshots the gateway.
@@ -471,7 +459,7 @@ func (g *Gateway) Stats() Stats {
 		Announces:      int64(g.c.announces.Load()),
 		BlocksApplied:  int64(g.c.blocksApplied.Load()),
 		ChainFills:     int64(g.c.chainFills.Load()),
-		Fetches:        int64(g.c.fetches.Load()),
+		CertRejects:    int64(g.c.certRejects.Load()),
 		StaleAnnounces: int64(g.c.staleAnnounce.Load()),
 		ConnRejects:    int64(g.c.connRejects.Load()),
 		FrameRejects:   int64(g.c.frameRejects.Load()),

@@ -8,6 +8,7 @@ import (
 	"algorand/internal/ledger"
 	"algorand/internal/network"
 	"algorand/internal/node"
+	"algorand/internal/sortition"
 	"algorand/internal/txflow"
 	"algorand/internal/vtime"
 )
@@ -31,8 +32,16 @@ func (s *stubNet) Unicast(from, to int, m network.Message) {
 func (s *stubNet) SetHandler(id int, h network.Handler) { s.handler = h }
 func (s *stubNet) Neighbors(id int) []int               { return nil }
 
-// testHarness is a gateway against a stub transport, plus the
-// identities funding its genesis.
+// testCommittee is the harness's certificate-verification
+// configuration: a committee large enough that every funded identity
+// votes, with thresholds the deterministic fast crypto always clears.
+var testCommittee = ledger.CommitteeParams{
+	TauStep: 120, StepThreshold: 5, TauFinal: 120, FinalThreshold: 5,
+}
+
+// testHarness is a gateway against a stub transport, plus a shadow
+// ledger speaking for the consensus cluster: it proposes certified
+// blocks the gateway's read model must verify.
 type testHarness struct {
 	sim   *vtime.Sim
 	net   *stubNet
@@ -40,6 +49,7 @@ type testHarness struct {
 	prov  crypto.Provider
 	ids   []crypto.Identity
 	seed0 crypto.Digest
+	l     *ledger.Ledger
 }
 
 func newHarness(t *testing.T, cfg Config, users int) *testHarness {
@@ -56,10 +66,13 @@ func newHarness(t *testing.T, cfg Config, users int) *testHarness {
 	if cfg.Consensus == nil {
 		cfg.Consensus = []int{0, 1, 2, 3, 4, 5, 6, 7}
 	}
+	cfg.Committee = testCommittee
+	cfg.LedgerCfg = ledger.DefaultConfig()
 	seed0 := crypto.HashBytes("gateway.test.seed0")
 	net := &stubNet{}
 	gw := New(100, sim, net, prov, cfg, genesis, seed0)
-	return &testHarness{sim: sim, net: net, gw: gw, prov: prov, ids: ids, seed0: seed0}
+	l := ledger.New(prov, cfg.LedgerCfg, genesis, seed0)
+	return &testHarness{sim: sim, net: net, gw: gw, prov: prov, ids: ids, seed0: seed0, l: l}
 }
 
 func (h *testHarness) tx(t *testing.T, from, to, nonce int) *ledger.Transaction {
@@ -75,21 +88,75 @@ func (h *testHarness) tx(t *testing.T, from, to, nonce int) *ledger.Transaction 
 	return tx
 }
 
-// block builds round r extending prev with the given transactions.
-func (h *testHarness) block(r uint64, prev crypto.Digest, txs ...ledger.Transaction) *ledger.Block {
-	return &ledger.Block{Round: r, PrevHash: prev, Seed: crypto.HashUint64("seed", r), Txns: txs}
+// propose builds a valid block extending the shadow ledger's head,
+// proposed by ids[0], without committing it.
+func (h *testHarness) propose(txs ...ledger.Transaction) *ledger.Block {
+	id := h.ids[0]
+	round := h.l.NextRound()
+	out, proof := id.VRFProve(ledger.SeedAlpha(h.l.PrevSeed(), round))
+	post := h.l.Balances().Clone()
+	for i := range txs {
+		post.ApplyTx(&txs[i])
+	}
+	return &ledger.Block{
+		Round:     round,
+		PrevHash:  h.l.HeadHash(),
+		Timestamp: time.Duration(round) * time.Second,
+		StateRoot: post.Root(),
+		Seed:      ledger.SeedFromVRF(out),
+		SeedProof: proof,
+		Proposer:  id.PublicKey(),
+		Txns:      txs,
+	}
+}
+
+// certify builds a valid committee certificate for b at the shadow
+// ledger's head by running sortition across the whole population.
+func (h *testHarness) certify(b *ledger.Block, final bool) *ledger.Certificate {
+	const step = 1
+	value := b.Hash()
+	seed := h.l.SortitionSeed(b.Round)
+	weights, total := h.l.SortitionWeights(b.Round)
+	role := sortition.Role{Kind: sortition.RoleCommittee, Round: b.Round, Step: step}
+	cert := &ledger.Certificate{Round: b.Round, Step: step, Value: value, Final: final}
+	for _, id := range h.ids {
+		res := sortition.Execute(id, seed[:], role, testCommittee.TauStep, weights[id.PublicKey()], total)
+		if res.J == 0 {
+			continue
+		}
+		v := ledger.Vote{
+			Sender:    id.PublicKey(),
+			Round:     b.Round,
+			Step:      step,
+			SortHash:  res.Output,
+			SortProof: res.Proof,
+			PrevHash:  h.l.HeadHash(),
+			Value:     value,
+		}
+		v.Sign(id)
+		cert.Votes = append(cert.Votes, v)
+	}
+	return cert
+}
+
+// advance commits one certified block (with the given transactions) on
+// both the shadow ledger and, via a ChainReply, the gateway.
+func (h *testHarness) advance(t *testing.T, txs ...ledger.Transaction) *ledger.Block {
+	t.Helper()
+	b := h.propose(txs...)
+	cert := h.certify(b, false)
+	if err := h.l.Commit(b, cert); err != nil {
+		t.Fatalf("shadow commit: %v", err)
+	}
+	h.gw.applyRun([]*ledger.Block{b}, []*ledger.Certificate{cert})
+	return b
 }
 
 func TestReadModelGenesisMatchesLedger(t *testing.T) {
 	h := newHarness(t, Config{}, 3)
-	genesis := make(map[crypto.PublicKey]uint64)
-	for _, id := range h.ids {
-		genesis[id.PublicKey()] = 1000
-	}
-	l := ledger.New(h.prov, ledger.Config{}, genesis, h.seed0)
 	_, head := h.gw.rm.Head()
-	if head != l.HeadHash() {
-		t.Fatalf("read-model genesis head %x != ledger genesis head %x", head, l.HeadHash())
+	if head != h.l.HeadHash() {
+		t.Fatalf("read-model genesis head %x != ledger genesis head %x", head, h.l.HeadHash())
 	}
 }
 
@@ -147,32 +214,28 @@ func TestSubmitRoutesToSenderCluster(t *testing.T) {
 	}
 }
 
-func TestAnnounceQuorumDrivesFetchAndApply(t *testing.T) {
-	h := newHarness(t, Config{AnnounceQuorum: 2}, 4)
-	_, genesisHead := h.gw.rm.Head()
-	b1 := h.block(1, genesisHead, *h.tx(t, 0, 1, 0))
-	h1 := b1.Hash()
+func TestAnnounceDrivesChainFetchAndCertifiedApply(t *testing.T) {
+	h := newHarness(t, Config{}, 4)
+	b1 := h.propose(*h.tx(t, 0, 1, 0))
+	cert1 := h.certify(b1, false)
 
-	// First announce: below quorum, no fetch.
+	// One announce suffices: the fetched certificates carry the trust.
 	h.net.SetHandler(100, network.HandlerFunc(h.gw.handleMessage))
-	h.gw.handleMessage(0, &node.CommitAnnounce{Round: 1, Hash: h1, Announcer: 0})
-	if len(h.net.unicasts) != 0 {
-		t.Fatalf("fetched below quorum: %v", h.net.unicasts)
-	}
-	// Second distinct announcer: quorum → BlockRequest to the announcer.
-	h.gw.handleMessage(1, &node.CommitAnnounce{Round: 1, Hash: h1, Announcer: 1})
+	h.gw.handleMessage(0, &node.CommitAnnounce{Round: 1, Hash: b1.Hash(), Announcer: 0})
 	if len(h.net.unicasts) != 1 {
-		t.Fatalf("want 1 fetch, got %d", len(h.net.unicasts))
+		t.Fatalf("want 1 chain fetch, got %d", len(h.net.unicasts))
 	}
-	req, ok := h.net.unicasts[0].m.(*node.BlockRequest)
-	if !ok || req.Hash != h1 || h.net.unicasts[0].to != 1 {
+	req, ok := h.net.unicasts[0].m.(*node.ChainRequest)
+	if !ok || req.FromRound != 1 || h.net.unicasts[0].to != 0 {
 		t.Fatalf("unexpected fetch %#v", h.net.unicasts[0])
 	}
-	// The BlockFill answer applies the block.
-	h.gw.handleMessage(1, &node.BlockFill{Block: b1, Recipient: 100})
+	// The certified reply applies the block.
+	h.gw.handleMessage(0, &node.ChainReply{
+		Blocks: []*ledger.Block{b1}, Certs: []*ledger.Certificate{cert1}, Recipient: 100,
+	})
 	round, head := h.gw.rm.Head()
-	if round != 1 || head != h1 {
-		t.Fatalf("head = (%d, %x), want (1, %x)", round, head, h1)
+	if round != 1 || head != b1.Hash() {
+		t.Fatalf("head = (%d, %x), want (1, %x)", round, head, b1.Hash())
 	}
 	// Balances moved and the tx is committed.
 	money, nonce, asOf := h.gw.rm.Balance(h.ids[0].PublicKey())
@@ -185,40 +248,78 @@ func TestAnnounceQuorumDrivesFetchAndApply(t *testing.T) {
 	}
 }
 
-func TestApplyRejectsForksAndQuorumMismatch(t *testing.T) {
-	h := newHarness(t, Config{AnnounceQuorum: 2}, 4)
-	_, genesisHead := h.gw.rm.Head()
+func TestApplyRejectsUncertifiedAndForgedBlocks(t *testing.T) {
+	h := newHarness(t, Config{}, 4)
+	b1 := h.propose(*h.tx(t, 0, 1, 0))
 
-	// Wrong PrevHash: rejected.
-	bogus := h.block(1, crypto.HashBytes("not the head"))
-	if ok, _ := h.gw.rm.Apply(bogus); ok {
-		t.Fatal("applied a block that does not extend the head")
+	// No certificate at all: the run has no anchor, nothing applies.
+	if applied, _, _ := h.gw.rm.ApplyRun([]*ledger.Block{b1}, nil); len(applied) != 0 {
+		t.Fatal("applied a block without any certificate")
 	}
 
-	// Quorum formed for hash A; a different block B for the same round
-	// must not apply even though it extends the head.
-	a := h.block(1, genesisHead, *h.tx(t, 0, 1, 0))
-	h.gw.rm.Observe(1, a.Hash(), 0)
-	h.gw.rm.Observe(1, a.Hash(), 1)
-	b := h.block(1, genesisHead) // empty variant, different hash
-	if ok, _ := h.gw.rm.Apply(b); ok {
-		t.Fatal("applied a block contradicting the announce quorum")
+	// A certificate signed by nobody in the committee: rejected.
+	forged := &ledger.Certificate{Round: 1, Step: 1, Value: b1.Hash()}
+	forged.Votes = []ledger.Vote{{Sender: h.ids[0].PublicKey(), Round: 1, Step: 1, Value: b1.Hash()}}
+	if applied, _, err := h.gw.rm.ApplyRun(
+		[]*ledger.Block{b1}, []*ledger.Certificate{forged}); len(applied) != 0 || err == nil {
+		t.Fatal("applied a block under a forged certificate")
 	}
-	if ok, _ := h.gw.rm.Apply(a); !ok {
-		t.Fatal("failed to apply the quorum block")
+
+	// A valid certificate for a DIFFERENT block must not certify b2.
+	cert1 := h.certify(b1, false)
+	b2 := h.propose() // same round, no txs, different hash
+	if b2.Hash() == b1.Hash() {
+		t.Fatal("test blocks collide")
+	}
+	if applied, _, _ := h.gw.rm.ApplyRun(
+		[]*ledger.Block{b2}, []*ledger.Certificate{cert1}); len(applied) != 0 {
+		t.Fatal("applied a block under another block's certificate")
+	}
+
+	// The genuine pair applies.
+	applied, _, err := h.gw.rm.ApplyRun([]*ledger.Block{b1}, []*ledger.Certificate{cert1})
+	if err != nil || len(applied) != 1 {
+		t.Fatalf("genuine certified block rejected: %v", err)
+	}
+	if st := h.gw.Stats(); st.CertRejects != 0 {
+		// ApplyRun was called directly; the counter moves via applyRun.
+		t.Fatalf("unexpected cert rejects %d", st.CertRejects)
+	}
+}
+
+func TestForgedReplyCountsCertReject(t *testing.T) {
+	h := newHarness(t, Config{}, 4)
+	b1 := h.propose(*h.tx(t, 0, 1, 0))
+	forged := &ledger.Certificate{Round: 1, Step: 1, Value: b1.Hash(),
+		Votes: []ledger.Vote{{Sender: h.ids[1].PublicKey(), Round: 1, Step: 1, Value: b1.Hash()}}}
+	h.gw.handleMessage(0, &node.ChainReply{
+		Blocks: []*ledger.Block{b1}, Certs: []*ledger.Certificate{forged}, Recipient: 100,
+	})
+	if round, _ := h.gw.rm.Head(); round != 0 {
+		t.Fatalf("forged reply moved the head to %d", round)
+	}
+	if st := h.gw.Stats(); st.CertRejects != 1 || st.BlocksApplied != 0 {
+		t.Fatalf("stats certRejects=%d blocksApplied=%d, want 1/0", st.CertRejects, st.BlocksApplied)
 	}
 }
 
 func TestGapTriggersChainFillAndCatchUp(t *testing.T) {
-	h := newHarness(t, Config{AnnounceQuorum: 2}, 4)
-	_, genesisHead := h.gw.rm.Head()
-	b1 := h.block(1, genesisHead)
-	b2 := h.block(2, b1.Hash())
-	b3 := h.block(3, b2.Hash())
+	h := newHarness(t, Config{}, 4)
+	// Build rounds 1..3 on the shadow ledger (committed there only).
+	var blocks []*ledger.Block
+	var certs []*ledger.Certificate
+	for r := 0; r < 3; r++ {
+		b := h.propose()
+		c := h.certify(b, false)
+		if err := h.l.Commit(b, c); err != nil {
+			t.Fatalf("shadow commit: %v", err)
+		}
+		blocks = append(blocks, b)
+		certs = append(certs, c)
+	}
 
 	// The gateway hears about round 3 only (it was down for 1 and 2).
-	h.gw.handleMessage(0, &node.CommitAnnounce{Round: 3, Hash: b3.Hash(), Announcer: 0})
-	h.gw.handleMessage(1, &node.CommitAnnounce{Round: 3, Hash: b3.Hash(), Announcer: 1})
+	h.gw.handleMessage(0, &node.CommitAnnounce{Round: 3, Hash: blocks[2].Hash(), Announcer: 0})
 	if len(h.net.unicasts) != 1 {
 		t.Fatalf("want 1 chain request, got %d", len(h.net.unicasts))
 	}
@@ -226,13 +327,41 @@ func TestGapTriggersChainFillAndCatchUp(t *testing.T) {
 	if !ok || req.FromRound != 1 {
 		t.Fatalf("unexpected gap fill %#v", h.net.unicasts[0].m)
 	}
-	// The reply catches the model up hash-by-hash.
-	h.gw.handleMessage(1, &node.ChainReply{
-		Blocks: []*ledger.Block{b1, b2, b3}, Recipient: 100,
-	})
+	// The reply catches the model up, verifying every certificate.
+	h.gw.handleMessage(1, &node.ChainReply{Blocks: blocks, Certs: certs, Recipient: 100})
 	round, head := h.gw.rm.Head()
-	if round != 3 || head != b3.Hash() {
-		t.Fatalf("head = (%d, %x), want (3, %x)", round, head, b3.Hash())
+	if round != 3 || head != blocks[2].Hash() {
+		t.Fatalf("head = (%d, %x), want (3, %x)", round, head, blocks[2].Hash())
+	}
+}
+
+func TestUncertifiedPrefixNeedsCertifiedAnchor(t *testing.T) {
+	h := newHarness(t, Config{}, 4)
+	b1 := h.propose()
+	if err := h.l.Commit(b1, nil); err != nil {
+		t.Fatalf("shadow commit: %v", err)
+	}
+	b2 := h.propose()
+	cert2 := h.certify(b2, false)
+	if err := h.l.Commit(b2, cert2); err != nil {
+		t.Fatalf("shadow commit: %v", err)
+	}
+
+	// The uncertified block alone is held back…
+	if applied, _, _ := h.gw.rm.ApplyRun([]*ledger.Block{b1}, nil); len(applied) != 0 {
+		t.Fatal("applied an uncertified block with no anchor")
+	}
+	if round, _ := h.gw.rm.Head(); round != 0 {
+		t.Fatalf("uncertified block moved the head to %d", round)
+	}
+	// …but commits beneath a later certified anchor (§8.3 transitivity).
+	applied, _, err := h.gw.rm.ApplyRun(
+		[]*ledger.Block{b1, b2}, []*ledger.Certificate{cert2})
+	if err != nil || len(applied) != 2 {
+		t.Fatalf("anchored run applied %d blocks, err %v; want 2", len(applied), err)
+	}
+	if round, head := h.gw.rm.Head(); round != 2 || head != b2.Hash() {
+		t.Fatalf("head = (%d, %x), want (2, %x)", round, head, b2.Hash())
 	}
 }
 
@@ -257,7 +386,7 @@ func TestTypedRejectsCarryRetryHints(t *testing.T) {
 }
 
 func TestCommittedClearsPendingAndBlocksResubmission(t *testing.T) {
-	h := newHarness(t, Config{AnnounceQuorum: 1}, 4)
+	h := newHarness(t, Config{}, 4)
 	tx := h.tx(t, 0, 1, 0)
 	if err := h.gw.Submit(tx); err != nil {
 		t.Fatalf("submit: %v", err)
@@ -265,9 +394,7 @@ func TestCommittedClearsPendingAndBlocksResubmission(t *testing.T) {
 	if status, _, _ := h.gw.rm.TxStatus(tx.ID()); status != StatusPending {
 		t.Fatalf("status before commit = %s, want pending", status)
 	}
-	_, genesisHead := h.gw.rm.Head()
-	b1 := h.block(1, genesisHead, *tx)
-	h.gw.applyBlocks([]*ledger.Block{b1})
+	h.advance(t, *tx)
 	if status, r, _ := h.gw.rm.TxStatus(tx.ID()); status != StatusCommitted || r != 1 {
 		t.Fatalf("status after commit = %s/%d", status, r)
 	}
@@ -281,25 +408,22 @@ func TestCommittedClearsPendingAndBlocksResubmission(t *testing.T) {
 	}
 }
 
-func TestTallyHorizonBoundsState(t *testing.T) {
-	h := newHarness(t, Config{AnnounceQuorum: 2}, 4)
-	// Far-future announces are dropped, near-future ones tallied.
-	for r := uint64(1); r <= tallyHorizon+100; r++ {
-		h.gw.rm.Observe(r, crypto.HashUint64("h", r), 0)
+func TestStaleAnnouncesDoNotFetch(t *testing.T) {
+	h := newHarness(t, Config{}, 4)
+	b1 := h.advance(t)
+	h.gw.handleMessage(0, &node.CommitAnnounce{Round: 1, Hash: b1.Hash(), Announcer: 0})
+	if len(h.net.unicasts) != 0 {
+		t.Fatalf("stale announce triggered a fetch: %v", h.net.unicasts)
 	}
-	h.gw.rm.mu.RLock()
-	n := len(h.gw.rm.tallies)
-	h.gw.rm.mu.RUnlock()
-	if n > tallyHorizon {
-		t.Fatalf("tally map grew to %d (> horizon %d)", n, tallyHorizon)
+	if st := h.gw.Stats(); st.StaleAnnounces != 1 {
+		t.Fatalf("stale announces = %d, want 1", st.StaleAnnounces)
 	}
 }
 
 func TestHaltedGatewayIgnoresTraffic(t *testing.T) {
-	h := newHarness(t, Config{AnnounceQuorum: 1}, 4)
+	h := newHarness(t, Config{}, 4)
 	h.gw.Halt()
-	_, genesisHead := h.gw.rm.Head()
-	b1 := h.block(1, genesisHead)
+	b1 := h.propose()
 	h.gw.handleMessage(0, &node.CommitAnnounce{Round: 1, Hash: b1.Hash(), Announcer: 0})
 	if len(h.net.unicasts) != 0 {
 		t.Fatal("halted gateway fetched a block")

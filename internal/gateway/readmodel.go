@@ -1,37 +1,51 @@
 package gateway
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"algorand/internal/cache"
 	"algorand/internal/crypto"
 	"algorand/internal/ledger"
+	"algorand/internal/node"
 )
 
+// recoveryRoundBase mirrors the node package's §8.2 recovery round
+// numbering: certificates at or past this base prove a recovery
+// adoption rather than a chain round.
+const recoveryRoundBase = uint64(1) << 40
+
 // ReadModel is the gateway's lag-tolerant view of the committed
-// chain, fed exclusively by CommitAnnounce gossip plus the block
-// bodies fetched in response — it never calls into a consensus node's
-// ledger lock. Queries answer from whatever round the model has
-// reached and report that round (`as_of_round`), so a client always
-// knows how stale an answer may be.
+// chain, fed exclusively by CommitAnnounce gossip plus the
+// block+certificate runs fetched in response — it never calls into a
+// consensus node's ledger lock. Queries answer from whatever round
+// the model has reached and report that round (`as_of_round`), so a
+// client always knows how stale an answer may be.
 //
-// Integrity model: the gateway verifies hash-chain continuity from
-// the genesis block it was configured with (every applied block's
-// PrevHash must equal the current head hash) and requires
-// AnnounceQuorum distinct consensus nodes to have announced the same
-// (round, hash) before a block is applied. It does NOT verify BA⋆
-// certificates — a quorum of its consensus peers lying in concert can
-// feed it a fake suffix. That is the deliberate trust line for the
-// access tier: gateways are operated alongside the consensus nodes
-// they peer with, and cert verification at the edge would pull
-// committee state into every gateway (DESIGN.md "Access gateway").
+// Integrity model: every applied block is backed by a verified BA⋆
+// certificate, checked against the committee configuration exactly
+// the way a catching-up consensus node checks it (seed-chain
+// sortition seeds, look-back weights, τ/threshold by certificate
+// kind). The model owns a full ledger replica to hold that
+// verification context, so a quorum of lying consensus peers can no
+// longer feed the access tier a fake suffix — the only way to move
+// this head is a certificate the configured committee actually
+// signed. Recovery-adopted rounds (§8.2) carry no certificate of
+// their own and are accepted only beneath a later certified block
+// that commits to them through the PrevHash chain, the same
+// transitive argument network catch-up uses.
 type ReadModel struct {
 	mu sync.RWMutex
 
-	balances  *ledger.Balances
-	head      crypto.Digest
-	headRound uint64
+	// l is the model's own chain replica: verification context
+	// (seeds, look-back weight snapshots) plus balances. It grows with
+	// the chain exactly like a consensus node's ledger does.
+	l *ledger.Ledger
+
+	provider  crypto.Provider
+	committee ledger.CommitteeParams
+	skew      time.Duration
 
 	// recent is a ring of the last RecentBlocks applied blocks,
 	// indexed by round % len.
@@ -44,18 +58,8 @@ type ReadModel struct {
 	committed *cache.TwoGen[crypto.Digest, uint64]
 	pending   *cache.TwoGen[crypto.Digest, struct{}]
 
-	// tallies counts announcers per (round, hash) for rounds past the
-	// head, bounded by tallyHorizon rounds.
-	tallies map[uint64]map[crypto.Digest]map[int]struct{}
-	quorum  int
-
 	now func() time.Duration
 }
-
-// tallyHorizon bounds how far past the head announce tallies are
-// kept; announces further ahead than this are dropped (the gap fill
-// will re-learn them when the head catches up).
-const tallyHorizon = 128
 
 // FetchKind tells the gateway what the read model needs next.
 type FetchKind int
@@ -63,26 +67,24 @@ type FetchKind int
 const (
 	// FetchNone: nothing to do.
 	FetchNone FetchKind = iota
-	// FetchBlock: request the block body for Hash (the next round).
-	FetchBlock
-	// FetchChain: rounds are missing; request the chain from FromRound.
+	// FetchChain: the announced round is past the head; request the
+	// chain (blocks and their certificates) from FromRound.
 	FetchChain
 )
 
 // FetchAction is the read model's reaction to an announce.
 type FetchAction struct {
 	Kind      FetchKind
-	Hash      crypto.Digest
 	FromRound uint64
 }
 
-// NewReadModel builds the model at genesis. genesis and seed0 must
-// match the consensus cluster's configuration: the genesis head hash
-// is derived exactly the way ledger.New derives its genesis entry.
-func NewReadModel(genesis map[crypto.PublicKey]uint64, seed0 crypto.Digest, quorum, recentBlocks int, statusTTL time.Duration, now func() time.Duration) *ReadModel {
-	if quorum <= 0 {
-		quorum = 1
-	}
+// NewReadModel builds the model at genesis. genesis, seed0, lcfg and
+// committee must match the consensus cluster's configuration: the
+// genesis entry is derived exactly the way ledger.New derives it, and
+// certificates are verified under the cluster's committee parameters.
+func NewReadModel(provider crypto.Provider, lcfg ledger.Config, committee ledger.CommitteeParams,
+	genesis map[crypto.PublicKey]uint64, seed0 crypto.Digest,
+	recentBlocks int, statusTTL time.Duration, now func() time.Duration) *ReadModel {
 	if recentBlocks <= 0 {
 		recentBlocks = 64
 	}
@@ -92,99 +94,145 @@ func NewReadModel(genesis map[crypto.PublicKey]uint64, seed0 crypto.Digest, quor
 	if now == nil {
 		panic("gateway: ReadModel needs a clock")
 	}
-	gBlock := &ledger.Block{Round: 0, Seed: seed0}
 	return &ReadModel{
-		balances:  ledger.NewBalances(genesis),
-		head:      gBlock.Hash(),
-		headRound: 0,
+		l:         ledger.New(provider, lcfg, genesis, seed0),
+		provider:  provider,
+		committee: committee,
+		skew:      lcfg.MaxTimestampSkew,
 		recent:    make([]*ledger.Block, recentBlocks),
 		committed: cache.New[crypto.Digest, uint64](statusTTL),
 		pending:   cache.New[crypto.Digest, struct{}](statusTTL),
-		tallies:   make(map[uint64]map[crypto.Digest]map[int]struct{}),
-		quorum:    quorum,
 		now:       now,
 	}
 }
 
 // Observe records one commit announcement and returns the fetch the
-// gateway should issue, if any.
-func (rm *ReadModel) Observe(round uint64, hash crypto.Digest, announcer int) FetchAction {
-	rm.mu.Lock()
-	defer rm.mu.Unlock()
-	if round <= rm.headRound {
+// gateway should issue, if any. One announcer suffices: announces are
+// only a liveness signal telling the model its head is behind — the
+// fetched blocks prove themselves through their certificates, so
+// counting distinct announcers would add lag without adding trust.
+func (rm *ReadModel) Observe(round uint64) FetchAction {
+	rm.mu.RLock()
+	head := rm.l.ChainLength()
+	rm.mu.RUnlock()
+	if round <= head {
 		return FetchAction{Kind: FetchNone}
 	}
-	if round > rm.headRound+tallyHorizon {
-		return FetchAction{Kind: FetchNone}
-	}
-	byHash, ok := rm.tallies[round]
-	if !ok {
-		byHash = make(map[crypto.Digest]map[int]struct{})
-		rm.tallies[round] = byHash
-	}
-	set, ok := byHash[hash]
-	if !ok {
-		set = make(map[int]struct{})
-		byHash[hash] = set
-	}
-	set[announcer] = struct{}{}
-	if len(set) < rm.quorum {
-		return FetchAction{Kind: FetchNone}
-	}
-	if round == rm.headRound+1 {
-		return FetchAction{Kind: FetchBlock, Hash: hash}
-	}
-	// A quorum exists for a round past the next one: rounds are
-	// missing (this gateway was down, partitioned, or just started).
-	return FetchAction{Kind: FetchChain, FromRound: rm.headRound + 1}
+	return FetchAction{Kind: FetchChain, FromRound: head + 1}
 }
 
-// Apply advances the head by one block if it extends the chain and —
-// when a quorum tally for its round exists — matches the
-// quorum-announced hash. It returns whether the block was applied
-// and, if so, the post-apply balances (for the mempool's nonce
-// floors; the pointer stays owned by the model and is only safe to
-// read before the next Apply).
-func (rm *ReadModel) Apply(b *ledger.Block) (bool, *ledger.Balances) {
+// applyRound verifies one certified block at the replica's head and
+// commits it — the same trustless step node catch-up performs.
+func (rm *ReadModel) applyRound(b *ledger.Block, cert *ledger.Certificate) error {
+	if cert.Value != b.Hash() {
+		return fmt.Errorf("round %d cert/block mismatch", b.Round)
+	}
+	if cert.Round >= recoveryRoundBase {
+		if err := node.VerifyRecoveryCert(rm.provider, rm.l, b, cert, rm.committee); err != nil {
+			return fmt.Errorf("round %d recovery cert: %w", b.Round, err)
+		}
+	} else {
+		seed := rm.l.SortitionSeed(b.Round)
+		weights, total := rm.l.SortitionWeights(b.Round)
+		tau, threshold := rm.committee.TauStep, rm.committee.StepThreshold
+		if cert.Final {
+			tau, threshold = rm.committee.TauFinal, rm.committee.FinalThreshold
+		} else if rm.committee.MaxStep != 0 && cert.Step > rm.committee.MaxStep {
+			return fmt.Errorf("round %d absurd step %d", b.Round, cert.Step)
+		}
+		if err := cert.Verify(rm.provider, seed, weights, total, tau, threshold, rm.l.HeadHash()); err != nil {
+			return fmt.Errorf("round %d cert: %w", b.Round, err)
+		}
+	}
+	if err := rm.l.ValidateBlock(b, b.Timestamp+rm.skew); err != nil {
+		return fmt.Errorf("round %d block: %w", b.Round, err)
+	}
+	if err := rm.l.Commit(b, cert); err != nil {
+		return fmt.Errorf("round %d commit: %w", b.Round, err)
+	}
+	return nil
+}
+
+// ApplyRun advances the head through a run of blocks and their
+// certificates (a ChainReply's payload). Uncertified blocks are held
+// as a tentative prefix and commit only beneath a certified anchor;
+// a prefix whose anchor fails verification is rolled back entirely.
+// It returns the blocks actually committed and the post-run balances
+// (for the mempool's nonce floors; the pointer stays owned by the
+// model and is only safe to read before the next ApplyRun). A
+// non-nil error means a peer served data that failed verification.
+func (rm *ReadModel) ApplyRun(blocks []*ledger.Block, certs []*ledger.Certificate) ([]*ledger.Block, *ledger.Balances, error) {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
-	if b.Round != rm.headRound+1 || b.PrevHash != rm.head {
-		return false, nil
-	}
-	h := b.Hash()
-	if byHash, ok := rm.tallies[b.Round]; ok {
-		quorumHash, found := crypto.Digest{}, false
-		for hash, set := range byHash {
-			if len(set) >= rm.quorum {
-				quorumHash, found = hash, true
-				break
-			}
-		}
-		if found && quorumHash != h {
-			return false, nil
+	certOf := make(map[crypto.Digest]*ledger.Certificate, len(certs))
+	for _, c := range certs {
+		if c != nil {
+			certOf[c.Value] = c
 		}
 	}
+	var applied []*ledger.Block
+	var pending []*ledger.Block
+	var failure error
+	for _, b := range blocks {
+		if b == nil {
+			continue
+		}
+		if b.Round != rm.l.NextRound()+uint64(len(pending)) {
+			continue // stale or ahead; ignore
+		}
+		cert, ok := certOf[b.Hash()]
+		if !ok {
+			// A §8.2 recovery adoption: acceptable only on the strength
+			// of a later certificate in this run.
+			pending = append(pending, b)
+			continue
+		}
+		run := append(pending, b)
+		prevHead := rm.l.HeadHash()
+		if err := rm.applyCertifiedRun(pending, b, cert); err != nil {
+			rm.l.SwitchHead(prevHead)
+			failure = err
+			break
+		}
+		applied = append(applied, run...)
+		pending = nil
+	}
+	// Trailing blocks with no certificate anchor are unverifiable and
+	// dropped. Index what committed.
 	now := rm.now()
-	for i := range b.Txns {
-		tx := &b.Txns[i]
-		// The consensus cluster already validated and agreed on this
-		// block; per-tx apply errors here would mean our model diverged
-		// (and chain continuity rules that out for honest feeds).
-		_ = rm.balances.ApplyTx(tx)
-		id := tx.ID()
-		rm.committed.Put(id, b.Round, now)
+	for _, b := range applied {
+		for i := range b.Txns {
+			rm.committed.Put(b.Txns[i].ID(), b.Round, now)
+		}
+		rm.recent[int(b.Round)%len(rm.recent)] = b
 	}
-	rm.head = h
-	rm.headRound = b.Round
-	rm.recent[int(b.Round)%len(rm.recent)] = b
-	delete(rm.tallies, b.Round)
-	// Drop tallies that can never matter again (behind the head).
-	for r := range rm.tallies {
-		if r <= rm.headRound {
-			delete(rm.tallies, r)
+	return applied, rm.l.Balances(), failure
+}
+
+// applyCertifiedRun commits an uncertified prefix plus the certified
+// block cb on top of it: cb's certificate transitively validates the
+// whole run through the PrevHash chain (§8.3). The caller restores
+// the head on error.
+func (rm *ReadModel) applyCertifiedRun(pending []*ledger.Block, cb *ledger.Block, cert *ledger.Certificate) error {
+	prev := rm.l.HeadHash()
+	for _, b := range pending {
+		if b.PrevHash != prev {
+			return fmt.Errorf("round %d breaks the hash chain", b.Round)
+		}
+		prev = b.Hash()
+	}
+	if cb.PrevHash != prev {
+		return fmt.Errorf("round %d certified block breaks the hash chain", cb.Round)
+	}
+	for _, b := range pending {
+		if err := rm.l.ValidateBlock(b, b.Timestamp+rm.skew); err != nil {
+			return fmt.Errorf("round %d block: %w", b.Round, err)
+		}
+		if err := rm.l.Commit(b, nil); err != nil {
+			return fmt.Errorf("round %d commit: %w", b.Round, err)
 		}
 	}
-	return true, rm.balances
+	return rm.applyRound(cb, cert)
 }
 
 // NotePending marks a tx id admitted at this gateway, so status
@@ -197,7 +245,7 @@ func (rm *ReadModel) NotePending(id crypto.Digest) {
 func (rm *ReadModel) Head() (uint64, crypto.Digest) {
 	rm.mu.RLock()
 	defer rm.mu.RUnlock()
-	return rm.headRound, rm.head
+	return rm.l.ChainLength(), rm.l.HeadHash()
 }
 
 // Balance answers an account query: balance, next expected nonce, and
@@ -205,7 +253,8 @@ func (rm *ReadModel) Head() (uint64, crypto.Digest) {
 func (rm *ReadModel) Balance(pk crypto.PublicKey) (money, nonce, asOfRound uint64) {
 	rm.mu.RLock()
 	defer rm.mu.RUnlock()
-	return rm.balances.Money[pk], rm.balances.Nonce[pk], rm.headRound
+	bal := rm.l.Balances()
+	return bal.Money[pk], bal.Nonce[pk], rm.l.ChainLength()
 }
 
 // TxStatus values.
@@ -222,7 +271,7 @@ const (
 func (rm *ReadModel) TxStatus(id crypto.Digest) (status string, round, asOfRound uint64) {
 	now := rm.now()
 	rm.mu.RLock()
-	asOfRound = rm.headRound
+	asOfRound = rm.l.ChainLength()
 	rm.mu.RUnlock()
 	// Cache lookups take their own locks; committed wins over pending
 	// (a committed tx may still sit in the pending index until TTL).
@@ -252,15 +301,15 @@ func (rm *ReadModel) BlockAt(round uint64) (*ledger.Block, bool) {
 func (rm *ReadModel) SnapshotBalances() (*ledger.Balances, uint64) {
 	rm.mu.RLock()
 	defer rm.mu.RUnlock()
-	return rm.balances.Clone(), rm.headRound
+	return rm.l.Balances().Clone(), rm.l.ChainLength()
 }
 
 // Lag reports how many rounds behind a reference head the model is.
 func (rm *ReadModel) Lag(refRound uint64) uint64 {
 	rm.mu.RLock()
 	defer rm.mu.RUnlock()
-	if refRound <= rm.headRound {
-		return 0
+	if head := rm.l.ChainLength(); refRound > head {
+		return refRound - head
 	}
-	return refRound - rm.headRound
+	return 0
 }

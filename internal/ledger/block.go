@@ -17,6 +17,13 @@ type Block struct {
 	PrevHash  crypto.Digest
 	Timestamp time.Duration // virtual time at proposal
 
+	// StateRoot commits the account state *after* applying this block's
+	// transactions (Balances.Root()): the Merkle root over every account
+	// record plus the total supply W. It is what lets a checkpoint
+	// snapshot — or a light client's balance proof — be verified against
+	// a block header instead of a replay from genesis.
+	StateRoot crypto.Digest
+
 	// Seed is the sortition seed contributed by this block (§5.2):
 	// either VRF_sk(seed_{r-1} || r) with SeedProof, or, for empty and
 	// invalid blocks, H(seed_{r-1} || r) with a nil proof.
@@ -40,9 +47,10 @@ type Block struct {
 }
 
 // blockFixedSize is the encoded size of a block's fixed header fields:
-// round, prev hash, timestamp, seed, proposer, the two proof length
-// prefixes, the u32 transaction count and the u64 padding count.
-const blockFixedSize = 8 + 32 + 8 + 32 + 4 + 32 + 4 + 4 + 8
+// round, prev hash, timestamp, state root, seed, proposer, the two
+// proof length prefixes, the u32 transaction count and the u64 padding
+// count.
+const blockFixedSize = 8 + 32 + 8 + 32 + 32 + 4 + 32 + 4 + 4 + 8
 
 // WireSize returns the block's size on the network in bytes — exactly
 // len(wire.Encode(b)), with PayloadPadding materialized.
@@ -61,6 +69,7 @@ func (b *Block) encodeHashed(e *wire.Encoder) {
 	e.Uint64(b.Round)
 	e.Fixed(b.PrevHash[:])
 	e.Uint64(uint64(b.Timestamp))
+	e.Fixed(b.StateRoot[:])
 	e.Fixed(b.Seed[:])
 	e.Bytes(b.SeedProof)
 	e.Fixed(b.Proposer[:])
@@ -85,6 +94,7 @@ func (b *Block) DecodeFrom(d *wire.Decoder) {
 	b.Round = d.Uint64()
 	d.Fixed(b.PrevHash[:])
 	b.Timestamp = time.Duration(d.Uint64())
+	d.Fixed(b.StateRoot[:])
 	d.Fixed(b.Seed[:])
 	b.SeedProof = d.Bytes()
 	d.Fixed(b.Proposer[:])
@@ -123,12 +133,15 @@ func (b *Block) IsEmpty() bool {
 // EmptyBlock constructs the canonical empty block for a round
 // ("Empty(round, H(ctx.last_block))" in Algorithm 7). Its seed is the
 // fallback H(prevSeed || round) so that every user derives the same
-// block, and hence the same hash, with no proposer involved.
-func EmptyBlock(round uint64, prevHash crypto.Digest, prevSeed crypto.Digest) *Block {
+// block, and hence the same hash, with no proposer involved. An empty
+// block commits no transactions, so it carries its parent's state root
+// forward unchanged.
+func EmptyBlock(round uint64, prevHash crypto.Digest, prevSeed crypto.Digest, stateRoot crypto.Digest) *Block {
 	return &Block{
-		Round:    round,
-		PrevHash: prevHash,
-		Seed:     FallbackSeed(prevSeed, round),
+		Round:     round,
+		PrevHash:  prevHash,
+		StateRoot: stateRoot,
+		Seed:      FallbackSeed(prevSeed, round),
 	}
 }
 

@@ -19,6 +19,9 @@
 //	            rewriting the block)
 //	reconcile — block, has-cert bool, certificate (§8.2 fork repair;
 //	            has-cert=false erases any stored certificate)
+//	checkpoint — a ledger.Checkpoint: block header, certificate, and
+//	            full account table at one committed round; the newest
+//	            structurally valid one wins
 //
 // Durability rules: every record is fsync'd before Append/Reconcile
 // returns (unless Options.NoSync), and a freshly created segment's
@@ -80,6 +83,7 @@ const (
 	recPut
 	recCert
 	recReconcile
+	recCheckpoint
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -155,6 +159,12 @@ type Store struct {
 	durable map[uint64]recState
 	last    uint64 // highest durable round
 	haveAny bool
+
+	// checkpoint is the newest structurally valid state snapshot on
+	// disk (nil if none). Recovery drops checkpoint records that fail
+	// ledger.Checkpoint.VerifyState, so a torn or tampered checkpoint
+	// silently yields the previous good one.
+	checkpoint *ledger.Checkpoint
 
 	active     diskfault.File
 	activeSeq  uint64
@@ -403,6 +413,19 @@ func (s *Store) applyRecord(payload []byte, opts Options) bool {
 		}
 		s.noteDurable(b.Round)
 		return true
+	case recCheckpoint:
+		cp := new(ledger.Checkpoint)
+		cp.DecodeFrom(d)
+		if d.Finish() != nil {
+			return false
+		}
+		if _, err := cp.VerifyState(); err != nil {
+			return false
+		}
+		if s.checkpoint == nil || cp.Round() > s.checkpoint.Round() {
+			s.checkpoint = cp
+		}
+		return true
 	case recCert:
 		round := d.Uint64()
 		c := new(ledger.Certificate)
@@ -608,6 +631,43 @@ func (s *Store) Reconcile(b *ledger.Block, c *ledger.Certificate) error {
 	}
 	s.noteDurable(b.Round)
 	return nil
+}
+
+// AppendCheckpoint durably archives a state snapshot. Checkpoints not
+// newer than the one already on disk are no-ops; structurally invalid
+// ones (certificate for a different block, account table not matching
+// the header's state root) are rejected outright — recovery would drop
+// them anyway, so journaling them would only waste the bytes.
+func (s *Store) AppendCheckpoint(cp *ledger.Checkpoint) error {
+	if _, err := cp.VerifyState(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.checkpoint != nil && cp.Round() <= s.checkpoint.Round() {
+		return nil
+	}
+	e := wire.NewEncoderSize(1 + cp.WireSize())
+	e.Byte(recCheckpoint)
+	cp.EncodeTo(e)
+	if err := s.journal(e.Data()); err != nil {
+		return err
+	}
+	s.checkpoint = cp
+	return nil
+}
+
+// Checkpoint returns the newest durable state snapshot, if any. It is
+// structurally verified (recovery drops records that are not), but the
+// caller must still verify the certificate against the committee
+// before trusting it — the disk is trusted no more than a peer.
+func (s *Store) Checkpoint() (*ledger.Checkpoint, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpoint, s.checkpoint != nil
 }
 
 // Recovered returns the in-memory image of the durable archive — what

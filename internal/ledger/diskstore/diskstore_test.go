@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -549,6 +550,214 @@ func TestFaultSoak(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// makeCheckpoint builds a structurally valid checkpoint at the given
+// round: n accounts, a block whose StateRoot commits the table, and a
+// fake cert for the block (diskstore verifies structure, not
+// committee signatures — that is the node's job).
+func makeCheckpoint(round uint64, n int) *ledger.Checkpoint {
+	bal := &ledger.Balances{
+		Money: make(map[crypto.PublicKey]uint64),
+		Nonce: make(map[crypto.PublicKey]uint64),
+	}
+	for i := 0; i < n; i++ {
+		pk := crypto.PublicKey(crypto.HashUint64("test.cp.key", uint64(i), nil))
+		bal.Money[pk] = uint64(500 + i)
+		bal.Total += uint64(500 + i)
+		if i%2 == 0 {
+			bal.Nonce[pk] = uint64(i)
+		}
+	}
+	b := &ledger.Block{
+		Round:     round,
+		PrevHash:  crypto.HashUint64("test.cp.prev", round, nil),
+		Seed:      crypto.HashUint64("test.cp.seed", round, nil),
+		StateRoot: bal.Root(),
+	}
+	c := &ledger.Certificate{
+		Round: round,
+		Step:  3,
+		Value: b.Hash(),
+		Votes: []ledger.Vote{{Round: round, Step: 3, Value: b.Hash()}},
+	}
+	return ledger.CheckpointOf(b, c, bal)
+}
+
+// TestCheckpointDurable: checkpoints journal, survive recovery, and
+// newest-by-round wins; stale or repeated checkpoints journal nothing.
+func TestCheckpointDurable(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if _, ok := s.Checkpoint(); ok {
+		t.Fatal("fresh store claims a checkpoint")
+	}
+	if err := s.AppendCheckpoint(makeCheckpoint(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendCheckpoint(makeCheckpoint(8, 5)); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats().Appends
+	if err := s.AppendCheckpoint(makeCheckpoint(4, 5)); err != nil { // stale: no-op
+		t.Fatal(err)
+	}
+	if err := s.AppendCheckpoint(makeCheckpoint(8, 5)); err != nil { // repeat: no-op
+		t.Fatal(err)
+	}
+	if after := s.Stats().Appends; after != before {
+		t.Fatalf("stale/repeat checkpoints journaled %d records", after-before)
+	}
+	s.Close()
+
+	r := mustOpen(t, dir, Options{})
+	defer r.Close()
+	cp, ok := r.Checkpoint()
+	if !ok || cp.Round() != 8 {
+		t.Fatalf("recovered checkpoint round %v, %v; want 8, true", cp, ok)
+	}
+	if _, err := cp.VerifyState(); err != nil {
+		t.Fatalf("recovered checkpoint fails verification: %v", err)
+	}
+}
+
+// TestCheckpointRejectsInvalid: a checkpoint whose account table does
+// not hash to the header's state root never reaches the journal.
+func TestCheckpointRejectsInvalid(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	cp := makeCheckpoint(4, 5)
+	cp.Accounts[0].Money += 1_000_000
+	if err := s.AppendCheckpoint(cp); err == nil {
+		t.Fatal("tampered checkpoint accepted for journaling")
+	}
+	if st := s.Stats(); st.Appends != 0 {
+		t.Fatalf("rejected checkpoint journaled %d records", st.Appends)
+	}
+}
+
+// checkpointRecords returns the offsets/lengths of recCheckpoint
+// records in a segment, in file order.
+func checkpointRecords(t *testing.T, path string) (data []byte, offs []int, lens []int) {
+	t.Helper()
+	data, allOffs, allLens := recordOffsets(t, path)
+	for i, off := range allOffs {
+		if allLens[i] > 0 && data[off+headerSize] == recCheckpoint {
+			offs = append(offs, off)
+			lens = append(lens, allLens[i])
+		}
+	}
+	return data, offs, lens
+}
+
+// TestTamperedCheckpointFallsBack: a checkpoint record rewritten on
+// disk — with its CRC fixed up, so framing looks clean — fails
+// structural verification at recovery and the previous good
+// checkpoint is served instead. This is the torn-write/poisoning
+// half of fast sync's durability story: the archive never hands the
+// node a snapshot whose account table disagrees with the committed
+// block header it rides with.
+func TestTamperedCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.AppendCheckpoint(makeCheckpoint(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendCheckpoint(makeCheckpoint(8, 5)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Rewrite one byte deep inside the newer checkpoint's account table
+	// and recompute the CRC so only content verification can catch it.
+	seg := lastSegment(t, dir)
+	data, offs, lens := checkpointRecords(t, seg)
+	if len(offs) != 2 {
+		t.Fatalf("found %d checkpoint records, want 2", len(offs))
+	}
+	off, l := offs[1], lens[1]
+	data[off+headerSize+l-10] ^= 0x01 // inside the last account record
+	payload := data[off+headerSize : off+headerSize+l]
+	binary.LittleEndian.PutUint32(data[off+8:off+12], crc32.Checksum(payload, crcTable))
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{})
+	defer r.Close()
+	if st := r.Stats(); st.DroppedRecords != 1 {
+		t.Fatalf("dropped %d records, want 1 (the tampered checkpoint)", st.DroppedRecords)
+	}
+	cp, ok := r.Checkpoint()
+	if !ok || cp.Round() != 4 {
+		t.Fatalf("fallback checkpoint round %v, %v; want 4, true", cp, ok)
+	}
+	if _, err := cp.VerifyState(); err != nil {
+		t.Fatalf("fallback checkpoint fails verification: %v", err)
+	}
+}
+
+// TestTornCheckpointKeepsPrevious: a crash mid-checkpoint-write leaves
+// a torn record; recovery truncates it and the previous checkpoint
+// stays usable.
+func TestTornCheckpointKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.AppendCheckpoint(makeCheckpoint(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// A half-written checkpoint record: correct framing header, payload
+	// cut off mid-account-table.
+	full := wire.Encode(makeCheckpoint(8, 5))
+	payload := append([]byte{recCheckpoint}, full...)
+	torn := make([]byte, headerSize+len(payload)/2)
+	binary.LittleEndian.PutUint32(torn[0:4], recordMagic)
+	binary.LittleEndian.PutUint32(torn[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(torn[8:12], crc32.Checksum(payload, crcTable))
+	copy(torn[headerSize:], payload[:len(payload)/2])
+	seg := lastSegment(t, dir)
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(torn)
+	f.Close()
+
+	r := mustOpen(t, dir, Options{})
+	defer r.Close()
+	if st := r.Stats(); st.TruncatedBytes != int64(len(torn)) {
+		t.Fatalf("truncated %d bytes, want %d", st.TruncatedBytes, len(torn))
+	}
+	cp, ok := r.Checkpoint()
+	if !ok || cp.Round() != 4 {
+		t.Fatalf("checkpoint after torn write: %v, %v; want round 4", cp, ok)
+	}
+}
+
+// TestCheckpointUnderWriteFaults: rotate-and-retry covers checkpoint
+// records like any other; a torn write on the active segment does not
+// lose the checkpoint.
+func TestCheckpointUnderWriteFaults(t *testing.T) {
+	dir := t.TempDir()
+	inj := diskfault.New(nil)
+	inj.Script(segName(1), diskfault.Script{{After: 100, Act: diskfault.TornWrite}})
+	s := mustOpen(t, dir, Options{FS: inj})
+	if err := s.AppendCheckpoint(makeCheckpoint(4, 20)); err != nil {
+		t.Fatalf("checkpoint under faults: %v", err)
+	}
+	if st := s.Stats(); st.WriteErrors == 0 {
+		t.Fatalf("fault did not fire: %+v", st)
+	}
+	s.Close()
+
+	r := mustOpen(t, dir, Options{})
+	defer r.Close()
+	cp, ok := r.Checkpoint()
+	if !ok || cp.Round() != 4 {
+		t.Fatalf("checkpoint lost to write fault: %v, %v", cp, ok)
 	}
 }
 

@@ -72,7 +72,8 @@ type Ledger struct {
 // New creates a ledger from genesis accounts and the bootstrap seed
 // seed0 (§8.3: the genesis block and seed are common knowledge).
 func New(p crypto.Provider, cfg Config, genesisAccounts map[crypto.PublicKey]uint64, seed0 crypto.Digest) *Ledger {
-	gBlock := &Block{Round: 0, Seed: seed0}
+	bal := NewBalances(genesisAccounts)
+	gBlock := &Block{Round: 0, Seed: seed0, StateRoot: bal.Root()}
 	l := &Ledger{
 		cfg:           cfg,
 		provider:      p,
@@ -83,7 +84,7 @@ func New(p crypto.Provider, cfg Config, genesisAccounts map[crypto.PublicKey]uin
 	e := &entry{
 		block:    gBlock,
 		hash:     gBlock.Hash(),
-		balances: NewBalances(genesisAccounts),
+		balances: bal,
 		final:    true,
 	}
 	l.entries[e.hash] = e
@@ -212,7 +213,7 @@ func (l *Ledger) BlockOfHash(h crypto.Digest) (*Block, bool) {
 
 // NextEmptyBlock returns the canonical empty block extending the head.
 func (l *Ledger) NextEmptyBlock() *Block {
-	return EmptyBlock(l.NextRound(), l.HeadHash(), l.PrevSeed())
+	return EmptyBlock(l.NextRound(), l.HeadHash(), l.PrevSeed(), l.head.block.StateRoot)
 }
 
 // ValidateBlock performs the §8.1 checks on a proposed block extending
@@ -244,7 +245,8 @@ func (l *Ledger) ValidateBlock(b *Block, now time.Duration) error {
 	if !ok || SeedFromVRF(out) != b.Seed {
 		return errors.New("ledger: invalid block seed")
 	}
-	// Transactions must apply cleanly to a copy of the head state.
+	// Transactions must apply cleanly to a copy of the head state, and
+	// the header's state root must commit exactly the resulting state.
 	tmp := l.head.balances.Clone()
 	for i := range b.Txns {
 		tx := &b.Txns[i]
@@ -254,6 +256,9 @@ func (l *Ledger) ValidateBlock(b *Block, now time.Duration) error {
 		if err := tmp.ApplyTx(tx); err != nil {
 			return fmt.Errorf("ledger: tx %d: %w", i, err)
 		}
+	}
+	if got := tmp.Root(); b.StateRoot != got {
+		return fmt.Errorf("ledger: block state root %s, post-apply state is %s", b.StateRoot, got)
 	}
 	return nil
 }
@@ -291,6 +296,9 @@ func (l *Ledger) Commit(b *Block, cert *Certificate) error {
 		if err := bal.ApplyTx(&b.Txns[i]); err != nil {
 			return fmt.Errorf("ledger: commit tx %d: %w", i, err)
 		}
+	}
+	if got := bal.Root(); b.StateRoot != got {
+		return fmt.Errorf("ledger: commit state root %s, post-apply state is %s", b.StateRoot, got)
 	}
 	e := &entry{
 		block:    b,

@@ -43,10 +43,15 @@ func (p *population) proposeBlock(l *Ledger, txns []Transaction, ts time.Duratio
 	id := p.ids[0]
 	round := l.NextRound()
 	out, proof := id.VRFProve(SeedAlpha(l.PrevSeed(), round))
+	post := l.Balances().Clone()
+	for i := range txns {
+		post.ApplyTx(&txns[i])
+	}
 	return &Block{
 		Round:     round,
 		PrevHash:  l.HeadHash(),
 		Timestamp: ts,
+		StateRoot: post.Root(),
 		Seed:      SeedFromVRF(out),
 		SeedProof: proof,
 		Proposer:  id.PublicKey(),
@@ -315,7 +320,8 @@ func TestForkTrackingAndSwitch(t *testing.T) {
 	}
 	// A competing block at round 1 (fork off genesis): the canonical
 	// empty block.
-	fork := EmptyBlock(1, l.GenesisHash(), crypto.HashBytes("genesis-seed"))
+	genesisBlock, _ := l.BlockAt(0)
+	fork := EmptyBlock(1, l.GenesisHash(), crypto.HashBytes("genesis-seed"), genesisBlock.StateRoot)
 	if err := l.Commit(fork, nil); err != nil {
 		t.Fatal(err)
 	}

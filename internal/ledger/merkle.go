@@ -1,0 +1,135 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"algorand/internal/crypto"
+)
+
+// The account state commitment: an incremental Merkle tree over every
+// account record (public key, money, nonce). Accounts hash into one of
+// merkleBuckets leaves by key; a bucket's hash covers its members'
+// record hashes in sorted key order; a fixed binary tree over the
+// bucket hashes yields the tree root; and the state root additionally
+// commits the total money supply W (sortition divides by it, so a
+// state commitment that let W drift would be useless for verifying
+// snapshots).
+//
+// Updating an account re-hashes only its bucket (expected n/merkleBuckets
+// members) and the log₂(merkleBuckets) interior nodes above it, so the
+// per-transaction cost stays far below re-hashing the account table —
+// the property that lets every block header carry the root.
+
+// merkleBuckets is the leaf width of the account tree. Power of two.
+const merkleBuckets = 256
+
+// accountLeafHash commits one account record.
+func accountLeafHash(pk crypto.PublicKey, money, nonce uint64) crypto.Digest {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], money)
+	binary.LittleEndian.PutUint64(buf[8:], nonce)
+	return crypto.HashBytes("algorand.account", pk[:], buf[:])
+}
+
+// merkleBucketOf assigns an account to its leaf bucket.
+func merkleBucketOf(pk crypto.PublicKey) int {
+	h := crypto.HashBytes("algorand.account.bucket", pk[:])
+	return int(binary.LittleEndian.Uint32(h[:4]) % merkleBuckets)
+}
+
+// accountTree is the incremental tree. nodes is a flat 1-indexed
+// binary heap layout: nodes[1] is the tree root, the leaves (bucket
+// hashes) occupy nodes[merkleBuckets..2*merkleBuckets-1].
+type accountTree struct {
+	members [merkleBuckets]map[crypto.PublicKey]crypto.Digest
+	nodes   [2 * merkleBuckets]crypto.Digest
+	dirty   map[int]bool // bucket indices needing a re-hash
+}
+
+func newAccountTree() *accountTree {
+	return &accountTree{dirty: make(map[int]bool)}
+}
+
+// touch (re-)hashes one account record into the tree, or removes it
+// when present is false.
+func (t *accountTree) touch(pk crypto.PublicKey, money, nonce uint64, present bool) {
+	i := merkleBucketOf(pk)
+	if t.members[i] == nil {
+		t.members[i] = make(map[crypto.PublicKey]crypto.Digest)
+	}
+	if present {
+		t.members[i][pk] = accountLeafHash(pk, money, nonce)
+	} else {
+		delete(t.members[i], pk)
+	}
+	t.dirty[i] = true
+}
+
+func (t *accountTree) clone() *accountTree {
+	c := &accountTree{nodes: t.nodes, dirty: make(map[int]bool, len(t.dirty))}
+	for i, m := range t.members {
+		if m == nil {
+			continue
+		}
+		cm := make(map[crypto.PublicKey]crypto.Digest, len(m))
+		for pk, h := range m {
+			cm[pk] = h
+		}
+		c.members[i] = cm
+	}
+	for i := range t.dirty {
+		c.dirty[i] = true
+	}
+	return c
+}
+
+// bucketHash commits bucket i: its members' record hashes in sorted
+// order (the map iteration order must not leak into the commitment).
+// An empty bucket commits to the zero digest.
+func (t *accountTree) bucketHash(i int) crypto.Digest {
+	m := t.members[i]
+	if len(m) == 0 {
+		return crypto.Digest{}
+	}
+	hs := make([]crypto.Digest, 0, len(m))
+	for _, h := range m {
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(a, b int) bool { return hs[a].Less(hs[b]) })
+	flat := make([]byte, 0, len(hs)*32)
+	for _, h := range hs {
+		flat = append(flat, h[:]...)
+	}
+	return crypto.HashBytes("algorand.account.leaf", flat)
+}
+
+// root recomputes the dirty paths and returns the tree root.
+func (t *accountTree) root() crypto.Digest {
+	if len(t.dirty) > 0 {
+		parents := make(map[int]bool, len(t.dirty))
+		for i := range t.dirty {
+			t.nodes[merkleBuckets+i] = t.bucketHash(i)
+			parents[(merkleBuckets+i)/2] = true
+		}
+		t.dirty = make(map[int]bool)
+		for len(parents) > 0 {
+			next := make(map[int]bool, len(parents))
+			for n := range parents {
+				t.nodes[n] = crypto.HashBytes("algorand.account.node",
+					t.nodes[2*n][:], t.nodes[2*n+1][:])
+				if n > 1 {
+					next[n/2] = true
+				}
+			}
+			parents = next
+		}
+	}
+	return t.nodes[1]
+}
+
+// stateRoot is the block-header commitment: the account tree root plus
+// the total money supply.
+func stateRoot(total uint64, treeRoot crypto.Digest) crypto.Digest {
+	return crypto.HashUint64("algorand.state", total, treeRoot[:])
+}

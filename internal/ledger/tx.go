@@ -99,11 +99,14 @@ func (tx *Transaction) VerifySig(p crypto.Provider) bool {
 
 // Balances tracks every account's money and per-account nonces. The
 // total money supply W is maintained incrementally because sortition
-// divides by it constantly.
+// divides by it constantly, and the Merkle account tree is maintained
+// incrementally because every block header commits to its root.
 type Balances struct {
 	Money map[crypto.PublicKey]uint64
 	Nonce map[crypto.PublicKey]uint64
 	Total uint64
+
+	tree *accountTree
 }
 
 // NewBalances builds the genesis account state.
@@ -111,10 +114,12 @@ func NewBalances(initial map[crypto.PublicKey]uint64) *Balances {
 	b := &Balances{
 		Money: make(map[crypto.PublicKey]uint64, len(initial)),
 		Nonce: make(map[crypto.PublicKey]uint64, len(initial)),
+		tree:  newAccountTree(),
 	}
 	for pk, amt := range initial {
 		b.Money[pk] = amt
 		b.Total += amt
+		b.tree.touch(pk, amt, 0, true)
 	}
 	return b
 }
@@ -132,7 +137,34 @@ func (b *Balances) Clone() *Balances {
 	for pk, n := range b.Nonce {
 		c.Nonce[pk] = n
 	}
+	if b.tree != nil {
+		c.tree = b.tree.clone()
+	}
 	return c
+}
+
+// ensureTree rebuilds the account tree from the maps when the Balances
+// was assembled field-by-field rather than through NewBalances.
+func (b *Balances) ensureTree() *accountTree {
+	if b.tree == nil {
+		t := newAccountTree()
+		for pk, amt := range b.Money {
+			t.touch(pk, amt, b.Nonce[pk], true)
+		}
+		for pk, n := range b.Nonce {
+			if _, ok := b.Money[pk]; !ok {
+				t.touch(pk, 0, n, true)
+			}
+		}
+		b.tree = t
+	}
+	return b.tree
+}
+
+// Root returns the state commitment every block header carries: the
+// Merkle root over all account records plus the total supply W.
+func (b *Balances) Root() crypto.Digest {
+	return stateRoot(b.Total, b.ensureTree().root())
 }
 
 // Weight returns the sortition weight (account balance) of pk.
@@ -168,5 +200,8 @@ func (b *Balances) ApplyTx(tx *Transaction) error {
 	b.Money[tx.To] += tx.Amount
 	b.Total -= tx.Fee
 	b.Nonce[tx.From]++
+	t := b.ensureTree()
+	t.touch(tx.From, b.Money[tx.From], b.Nonce[tx.From], true)
+	t.touch(tx.To, b.Money[tx.To], b.Nonce[tx.To], true)
 	return nil
 }

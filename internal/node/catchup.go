@@ -8,6 +8,7 @@ import (
 	"algorand/internal/crypto"
 	"algorand/internal/ledger"
 	"algorand/internal/network"
+	"algorand/internal/params"
 	"algorand/internal/vtime"
 )
 
@@ -54,16 +55,23 @@ func (n *Node) handleChainRequest(msg *ChainRequest) network.Verdict {
 	return network.Verdict{Relay: false}
 }
 
+// CommitteeParamsFor derives the certificate-verification
+// configuration from protocol parameters — the same derivation for
+// every verifier of the chain, consensus node or access gateway.
+func CommitteeParamsFor(p params.Params) ledger.CommitteeParams {
+	return ledger.CommitteeParams{
+		TauStep:        p.TauStep,
+		StepThreshold:  p.StepThreshold(),
+		TauFinal:       p.TauFinal,
+		FinalThreshold: p.FinalThreshold(),
+		MaxStep:        agreement.WireStepOfBinary(p.MaxSteps),
+	}
+}
+
 // committeeParams derives the certificate-verification configuration
 // from the node's protocol parameters.
 func (n *Node) committeeParams() ledger.CommitteeParams {
-	return ledger.CommitteeParams{
-		TauStep:        n.cfg.Params.TauStep,
-		StepThreshold:  n.cfg.Params.StepThreshold(),
-		TauFinal:       n.cfg.Params.TauFinal,
-		FinalThreshold: n.cfg.Params.FinalThreshold(),
-		MaxStep:        agreement.WireStepOfBinary(n.cfg.Params.MaxSteps),
-	}
+	return CommitteeParamsFor(n.cfg.Params)
 }
 
 // applyRound validates block b against certificate cert at the current
@@ -429,24 +437,31 @@ func (n *Node) trySyncBehind() bool {
 func (n *Node) StartAfterSync(syncBudget time.Duration) {
 	n.sim.Spawn(fmt.Sprintf("node-%d-rejoin", n.ID), func(p *vtime.Proc) {
 		n.proc = p
-		deadline := p.Now() + syncBudget
-		for !n.sim.Stopped() && !n.halted {
-			before := n.ledger.ChainLength()
-			if _, err := n.SyncFromPeersUntil(p, deadline, 0); err != nil {
-				return // inconsistent peer data; give up rather than diverge
-			}
-			if n.StopAfterRound > 0 && n.ledger.NextRound() > n.StopAfterRound {
-				return
-			}
-			if err := n.runRound(); err == nil {
-				break // back in lockstep with the network
-			}
-			if p.Now() >= deadline || n.ledger.ChainLength() == before {
-				break
-			}
-		}
-		n.run()
+		n.rejoinLoop(p, syncBudget)
 	})
+}
+
+// rejoinLoop is the body of StartAfterSync (also the tail of the
+// snapshot-first rejoin, see StartAfterSnapshotSync): sync, try a live
+// round, repeat within the budget, then fall into the main loop.
+func (n *Node) rejoinLoop(p *vtime.Proc, syncBudget time.Duration) {
+	deadline := p.Now() + syncBudget
+	for !n.sim.Stopped() && !n.halted {
+		before := n.ledger.ChainLength()
+		if _, err := n.SyncFromPeersUntil(p, deadline, 0); err != nil {
+			return // inconsistent peer data; give up rather than diverge
+		}
+		if n.StopAfterRound > 0 && n.ledger.NextRound() > n.StopAfterRound {
+			return
+		}
+		if err := n.runRound(); err == nil {
+			break // back in lockstep with the network
+		}
+		if p.Now() >= deadline || n.ledger.ChainLength() == before {
+			break
+		}
+	}
+	n.run()
 }
 
 // ApplyForgedReplyForTest exposes applyChainReply for adversarial

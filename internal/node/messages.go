@@ -471,6 +471,86 @@ func (m *CommitAnnounce) ID() crypto.Digest {
 // its own), so no relay limit is needed.
 func (m *CommitAnnounce) LimitKey() string { return "" }
 
+// SnapshotRequest asks a peer for its newest state checkpoint (the
+// fast-sync handshake): a restarting or joining node fetches a
+// verified snapshot and replays only the delta past it, instead of
+// the whole chain from genesis.
+type SnapshotRequest struct {
+	// MinRound filters checkpoints the requester already has: peers
+	// whose newest checkpoint is at or below it stay silent.
+	MinRound  uint64
+	Requester int
+	Nonce     uint64
+}
+
+// WireSize implements network.Message.
+func (m *SnapshotRequest) WireSize() int { return 8 + 4 + 8 }
+
+// EncodeTo implements wire.Marshaler.
+func (m *SnapshotRequest) EncodeTo(e *wire.Encoder) {
+	e.Uint64(m.MinRound)
+	e.Int(m.Requester)
+	e.Uint64(m.Nonce)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *SnapshotRequest) DecodeFrom(d *wire.Decoder) {
+	m.MinRound = d.Uint64()
+	m.Requester = d.Int()
+	m.Nonce = d.Uint64()
+}
+
+// ID is unique per request.
+func (m *SnapshotRequest) ID() crypto.Digest {
+	var buf [24]byte
+	binary.LittleEndian.PutUint64(buf[:8], m.MinRound)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(m.Requester))
+	binary.LittleEndian.PutUint64(buf[16:], m.Nonce)
+	return crypto.HashBytes("msg.snapreq", buf[:])
+}
+
+// LimitKey: unicast, never relayed.
+func (m *SnapshotRequest) LimitKey() string { return "" }
+
+// SnapshotReply carries one full checkpoint. The receiver trusts
+// nothing: it verifies the certificate against the committee and the
+// account table against the block header's state root before adopting
+// any of it, exactly as it would a chain served by a peer.
+type SnapshotReply struct {
+	Checkpoint *ledger.Checkpoint
+	Recipient  int
+	Nonce      uint64
+}
+
+// WireSize implements network.Message.
+func (m *SnapshotReply) WireSize() int { return m.Checkpoint.WireSize() + 4 + 8 }
+
+// EncodeTo implements wire.Marshaler.
+func (m *SnapshotReply) EncodeTo(e *wire.Encoder) {
+	m.Checkpoint.EncodeTo(e)
+	e.Int(m.Recipient)
+	e.Uint64(m.Nonce)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *SnapshotReply) DecodeFrom(d *wire.Decoder) {
+	m.Checkpoint = new(ledger.Checkpoint)
+	m.Checkpoint.DecodeFrom(d)
+	m.Recipient = d.Int()
+	m.Nonce = d.Uint64()
+}
+
+// ID is unique per reply.
+func (m *SnapshotReply) ID() crypto.Digest {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(m.Recipient))
+	binary.LittleEndian.PutUint64(buf[8:], m.Nonce)
+	return crypto.HashUint64("msg.snapreply", m.Checkpoint.Round(), buf[:])
+}
+
+// LimitKey: unicast, never relayed.
+func (m *SnapshotReply) LimitKey() string { return "" }
+
 // --- Wire registry ----------------------------------------------------------
 
 // Frame type tags, one per gossip message type. These are wire format:
@@ -487,6 +567,8 @@ const (
 	TagChainReply
 	TagTxBatch
 	TagCommitAnnounce
+	TagSnapshotRequest
+	TagSnapshotReply
 )
 
 // wireMessage is the constraint every gossip message satisfies: the
@@ -522,6 +604,10 @@ func MessageTag(m network.Message) (byte, bool) {
 		return TagTxBatch, true
 	case *CommitAnnounce:
 		return TagCommitAnnounce, true
+	case *SnapshotRequest:
+		return TagSnapshotRequest, true
+	case *SnapshotReply:
+		return TagSnapshotReply, true
 	}
 	return 0, false
 }
@@ -552,6 +638,10 @@ func NewMessage(tag byte) network.Message {
 		return new(TxBatch)
 	case TagCommitAnnounce:
 		return new(CommitAnnounce)
+	case TagSnapshotRequest:
+		return new(SnapshotRequest)
+	case TagSnapshotReply:
+		return new(SnapshotReply)
 	}
 	return nil
 }

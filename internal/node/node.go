@@ -125,6 +125,13 @@ type Config struct {
 	// describes ("the final step ... could be pipelined with the next
 	// round (although our prototype does not do so)").
 	PipelineFinalStep bool
+	// CheckpointInterval, when positive, writes a state checkpoint —
+	// block header, certificate, full account table — every that many
+	// rounds: into the durable archive when one is configured, and
+	// always into memory for serving SnapshotRequest peers. Restarting
+	// or joining nodes fast-sync from the newest checkpoint plus a
+	// catch-up delta instead of replaying the chain from genesis.
+	CheckpointInterval uint64
 	// AnnounceCommits makes the node gossip a CommitAnnounce to its
 	// direct neighbors after every durable commit. Gateways (the access
 	// tier) tail these announcements to advance their read models;
@@ -209,6 +216,18 @@ type Node struct {
 	reqNonce    uint64
 	// chainReplies receives §8.3 catch-up replies (see catchup.go).
 	chainReplies *vtime.Mailbox
+	// snapReplies receives fast-sync snapshot replies (see snapshot.go).
+	snapReplies *vtime.Mailbox
+
+	// checkpoint is the newest state snapshot this node holds — written
+	// at the checkpoint interval, adopted during fast sync, or restored
+	// from the archive — and what it serves to SnapshotRequest peers.
+	checkpoint *ledger.Checkpoint
+	// genesisAccounts/seed0 are retained common knowledge (§8.3): the
+	// verification context for peer-served snapshots, and the base a
+	// checkpoint ledger is grafted onto.
+	genesisAccounts map[crypto.PublicKey]uint64
+	seed0           crypto.Digest
 
 	// halted marks a simulated crash: the node stops handling and
 	// emitting messages and its process winds down (see Halt).
@@ -229,6 +248,13 @@ type Node struct {
 	// abandoned a tentative suffix for a strictly longer certified chain
 	// served by peers (see tryAdoptFork).
 	ForkAdoptions int
+	// SnapshotSyncs counts fast syncs: times this node re-based its
+	// ledger onto a verified peer-served checkpoint.
+	SnapshotSyncs int
+	// SnapshotRejects counts peer-served snapshots that failed
+	// verification (tampered table, forged certificate, or insufficient
+	// context) and were refused.
+	SnapshotRejects int
 
 	// Behavior hooks for adversarial nodes (see sim package). When
 	// Misbehave is non-nil it is invoked instead of the honest proposal
@@ -297,27 +323,29 @@ func New(
 		shardCount = 1
 	}
 	n := &Node{
-		ID:            id,
-		cfg:           cfg,
-		provider:      provider,
-		identity:      identity,
-		ledger:        ledger.New(provider, cfg.LedgerCfg, genesisAccounts, seed0),
-		flow:          txflow.New(provider, cfg.TxFlow),
-		store:         ledger.NewStore(uint64(id), shardCount),
-		net:           net,
-		sim:           sim,
-		voteInboxes:   make(map[[2]uint64]*vtime.Mailbox),
-		propInboxes:   make(map[uint64]*vtime.Mailbox),
-		pendingMsgs:   make(map[uint64][]network.Message),
-		bestPriority:  make(map[uint64]sortition.Priority),
-		blockMsgs:     make(map[crypto.Digest]*blockprop.BlockMsg),
-		blockMsgRound: make(map[crypto.Digest]uint64),
-		requestedAt:   make(map[crypto.Digest]time.Duration),
-		finalCtxs:     make(map[uint64]*agreement.Context),
-		archive:       cfg.Archive,
-		reg:           cfg.Metrics,
-		tracer:        cfg.Tracer,
-		ba:            agreement.NewMetrics(cfg.Metrics),
+		ID:              id,
+		cfg:             cfg,
+		provider:        provider,
+		identity:        identity,
+		ledger:          ledger.New(provider, cfg.LedgerCfg, genesisAccounts, seed0),
+		genesisAccounts: genesisAccounts,
+		seed0:           seed0,
+		flow:            txflow.New(provider, cfg.TxFlow),
+		store:           ledger.NewStore(uint64(id), shardCount),
+		net:             net,
+		sim:             sim,
+		voteInboxes:     make(map[[2]uint64]*vtime.Mailbox),
+		propInboxes:     make(map[uint64]*vtime.Mailbox),
+		pendingMsgs:     make(map[uint64][]network.Message),
+		bestPriority:    make(map[uint64]sortition.Priority),
+		blockMsgs:       make(map[crypto.Digest]*blockprop.BlockMsg),
+		blockMsgRound:   make(map[crypto.Digest]uint64),
+		requestedAt:     make(map[crypto.Digest]time.Duration),
+		finalCtxs:       make(map[uint64]*agreement.Context),
+		archive:         cfg.Archive,
+		reg:             cfg.Metrics,
+		tracer:          cfg.Tracer,
+		ba:              agreement.NewMetrics(cfg.Metrics),
 	}
 	n.roundsTotal = cfg.Metrics.Counter("algorand_node_rounds_total", "rounds this node completed")
 	n.roundsEmpty = cfg.Metrics.Counter("algorand_node_rounds_empty_total", "completed rounds that committed the empty block")
@@ -336,6 +364,13 @@ func (n *Node) Tracer() *trace.Tracer { return n.tracer }
 
 // Ledger exposes the node's ledger (read-only use).
 func (n *Node) Ledger() *ledger.Ledger { return n.ledger }
+
+// HandleMessage implements network.Handler (New registers it with the
+// transport). Exported so adversarial harnesses can wrap a node's
+// handler — intercept chosen messages, delegate the rest.
+func (n *Node) HandleMessage(from int, m network.Message) network.Verdict {
+	return n.handleMessage(from, m)
+}
 
 // Store exposes the node's §8.3 archive.
 func (n *Node) Store() *ledger.Store { return n.store }
@@ -360,6 +395,7 @@ func (n *Node) persistPut(b *ledger.Block, c *ledger.Certificate) {
 			n.persistErrCounter.Inc()
 		}
 	}
+	n.maybeCheckpoint(b, c)
 }
 
 // persistReconcile forces the archives — memory and disk — to the
@@ -493,6 +529,15 @@ func (n *Node) handleMessage(from int, m network.Message) network.Verdict {
 	case *CommitAnnounce:
 		// Gateway read-model feed; consensus nodes have their own ledger
 		// and ignore it. Never relayed — each committer announces its own.
+		return network.Verdict{Relay: false}
+
+	case *SnapshotRequest:
+		return n.handleSnapshotRequest(msg)
+
+	case *SnapshotReply:
+		if msg.Recipient == n.ID {
+			n.snapshotInbox().Send(msg)
+		}
 		return network.Verdict{Relay: false}
 	}
 	return network.Verdict{}
@@ -1120,14 +1165,26 @@ func (n *Node) buildBlock(round uint64) *ledger.Block {
 	assembleStart := n.tracer.WallNow()
 	txs := n.flow.Assemble(n.ledger.Balances(), n.cfg.Params.BlockSize)
 	n.tracer.Record(round, trace.PhaseAssemble, 0, assembleStart, n.tracer.WallNow())
+	// The header commits the post-apply state root; the assembled
+	// transactions are valid against the head state by construction, but
+	// drop any straggler that does not apply rather than propose a block
+	// every validator would reject.
+	post := n.ledger.Balances().Clone()
+	kept := txs[:0]
+	for i := range txs {
+		if post.ApplyTx(&txs[i]) == nil {
+			kept = append(kept, txs[i])
+		}
+	}
 	b := &ledger.Block{
 		Round:     round,
 		PrevHash:  n.ledger.HeadHash(),
 		Timestamp: n.proc.Now(),
+		StateRoot: post.Root(),
 		Seed:      ledger.SeedFromVRF(out),
 		SeedProof: proof,
 		Proposer:  n.identity.PublicKey(),
-		Txns:      txs,
+		Txns:      kept,
 	}
 	if pad := n.cfg.Params.BlockSize - b.WireSize(); pad > 0 {
 		b.PayloadPadding = pad

@@ -151,7 +151,7 @@ func (n *Node) recoverOnce(checkpoint, attempt uint64) bool {
 	// Propose the longest fork we know: an empty block extending its tip.
 	tips := n.ledger.ForkTips()
 	longest := tips[0]
-	proposal := ledger.EmptyBlock(longest.Round+1, longest.Hash(), longest.Seed)
+	proposal := ledger.EmptyBlock(longest.Round+1, longest.Hash(), longest.Seed, longest.StateRoot)
 	w := balances.Money[n.identity.PublicKey()]
 	if prop := blockprop.Propose(n.identity, sortition.RoleForkProposer, seed, recRound,
 		n.cfg.Params.TauProposer, w, balances.Total, proposal); prop != nil {

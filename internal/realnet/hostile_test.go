@@ -363,3 +363,61 @@ func TestHostileTxBatch(t *testing.T) {
 	}
 	assertAlive(t, m, 1, 300)
 }
+
+// TestReportMisbehaviorQuarantines drives the application-level offense
+// path: a node that catches a peer serving forged data (e.g. a snapshot
+// whose account table breaks its certified Merkle commitment) reports
+// it to the transport, the reports score the peer like any wire-level
+// offense, and enough of them quarantine it — inbound connections
+// refused until parole.
+func TestReportMisbehaviorQuarantines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock TCP test")
+	}
+	cfg := testConfig()
+	cfg.QuarantineThreshold = 8 // two reports (4+4) cross it
+	cfg.QuarantineDuration = 600 * time.Millisecond
+	m := newMiniNet(t, 3, func(int) Config { return cfg }, 30*time.Second)[0]
+
+	// Reports against self and unknown ids are dropped, not scored.
+	m.tr.ReportMisbehavior(0, "self-report must be ignored")
+	m.tr.ReportMisbehavior(99, "unknown peer must be ignored")
+	if ps := m.tr.Stats().Peers; ps[0].Reported != 0 || ps[1].Reported != 0 {
+		t.Fatalf("bogus reports scored a real peer: %+v", ps)
+	}
+
+	m.tr.ReportMisbehavior(1, "forged snapshot: state root mismatch")
+	ps := m.tr.Stats().Peers[0] // peer 1
+	if ps.Reported != 1 {
+		t.Fatalf("reported count %d, want 1", ps.Reported)
+	}
+	if ps.Quarantined {
+		t.Fatal("one report below threshold already quarantined the peer")
+	}
+
+	m.tr.ReportMisbehavior(1, "forged snapshot: state root mismatch")
+	ps = m.tr.Stats().Peers[0]
+	if ps.Reported != 2 {
+		t.Fatalf("reported count %d, want 2", ps.Reported)
+	}
+	if !ps.Quarantined || ps.Quarantines != 1 {
+		t.Fatalf("peer 1 not quarantined after crossing threshold: %+v", ps)
+	}
+
+	// While quarantined, even a clean connection is refused.
+	r := dialRaw(t, m.tr.Addr())
+	r.hello(1)
+	if !closedWithin(r.c, 5*time.Second) {
+		t.Fatal("quarantined peer's connection not refused")
+	}
+
+	// The other peer is untouched and the transport still works.
+	assertAlive(t, m, 2, 400)
+
+	// After parole, the reported peer is welcome again.
+	time.Sleep(cfg.QuarantineDuration + 100*time.Millisecond)
+	assertAlive(t, m, 1, 401)
+	if ps = m.tr.Stats().Peers[0]; ps.Quarantined {
+		t.Fatal("peer still quarantined after parole")
+	}
+}

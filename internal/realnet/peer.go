@@ -63,6 +63,7 @@ type peerCounters struct {
 	malformed    *metrics.Counter
 	spoofed      *metrics.Counter
 	rateAbuse    *metrics.Counter
+	reported     *metrics.Counter
 	quarantines  *metrics.Counter
 }
 
@@ -82,6 +83,7 @@ func newPeerCounters(r *metrics.Registry, id int) peerCounters {
 		malformed:    peerC("algorand_realnet_malformed_total", "undecodable frames received"),
 		spoofed:      peerC("algorand_realnet_spoofed_total", "frames whose sender id contradicted the hello"),
 		rateAbuse:    peerC("algorand_realnet_rate_abuse_total", "frames shed over the per-peer rate budget"),
+		reported:     peerC("algorand_realnet_reported_total", "application-reported protocol offenses"),
 		quarantines:  peerC("algorand_realnet_quarantines_total", "times the peer was quarantined"),
 	}
 }

@@ -71,6 +71,7 @@ const (
 	scoreMalformed = 4 // frame that fails to decode
 	scoreSpoofed   = 5 // frame sender id contradicting the hello
 	scoreRate      = 2 // frames above the per-window rate budget
+	scoreReported  = 4 // application-reported offense (e.g. forged snapshot)
 )
 
 // DialFunc opens a connection to addr. Tests substitute fault-injecting
@@ -415,6 +416,22 @@ func (t *Transport) closeInboundOf(id int) {
 	for _, c := range victims {
 		c.Close()
 	}
+}
+
+// ReportMisbehavior feeds an application-level offense into the
+// transport's peer misbehavior scoring, alongside the wire-level
+// offenses the transport detects itself. The node calls this when a
+// peer serves it provably bad protocol data — e.g. a state snapshot
+// whose certificate or Merkle root fails verification — so repeat
+// offenders cross the quarantine threshold and lose their audience.
+// Implements node.MisbehaviorReporter.
+func (t *Transport) ReportMisbehavior(id int, reason string) {
+	p := t.peers[id]
+	if p == nil || id == t.id {
+		return
+	}
+	p.offend(scoreReported, p.c.reported)
+	t.reportErr(fmt.Errorf("realnet: peer %d reported for misbehavior: %s", id, reason))
 }
 
 // quarantineEnacted enforces a freshly-imposed quarantine and surfaces

@@ -9,6 +9,11 @@ import (
 	nodepkg "algorand/internal/node"
 )
 
+// The transport exposes its misbehavior scoring to the node layer:
+// application-level offenses (forged snapshots) feed the same
+// quarantine machinery as wire-level ones.
+var _ nodepkg.MisbehaviorReporter = (*Transport)(nil)
+
 // PeerStats is one peer's transport-level state snapshot.
 type PeerStats struct {
 	Peer      int
@@ -30,6 +35,7 @@ type PeerStats struct {
 	Malformed   uint64
 	Spoofed     uint64
 	RateAbuse   uint64
+	Reported    uint64 // application-reported offenses (node layer)
 	Score       int
 	Quarantined bool
 	Quarantines uint64 // times this peer has been quarantined
@@ -83,6 +89,7 @@ func (t *Transport) Stats() Stats {
 			Malformed:    p.c.malformed.Load(),
 			Spoofed:      p.c.spoofed.Load(),
 			RateAbuse:    p.c.rateAbuse.Load(),
+			Reported:     p.c.reported.Load(),
 			Score:        p.score,
 			Quarantined:  now.Before(p.quarantinedUntil),
 			Quarantines:  p.c.quarantines.Load(),

@@ -60,6 +60,17 @@ type Config struct {
 	// PipelineFinalStep enables the §10.2 final-step pipelining
 	// optimization on every node.
 	PipelineFinalStep bool
+	// CheckpointInterval makes every node write a state checkpoint
+	// (full account table + Merkle root + certificate) each time its
+	// chain commits a round on this grid (0 = no checkpoints). A
+	// restarted node then re-bases onto the newest verified checkpoint
+	// and replays only the delta — see RestartNodeViaSnapshotSync and
+	// the snapshot-first path in RestartNode. Fast sync verifies
+	// checkpoint certificates from genesis context alone, so the
+	// checkpointed round must fall inside the first seed-refresh epoch:
+	// keep LedgerCfg.SeedRefreshInterval above the chain length a
+	// snapshot test expects to checkpoint.
+	CheckpointInterval uint64
 	// TxFlow overrides every node's ingestion-pipeline configuration
 	// (zero value = txflow defaults). Chaos runs shrink the pool bounds
 	// here to force eviction churn.
@@ -219,15 +230,16 @@ func NewCluster(cfg Config) *Cluster {
 	c.Net.SetWeights(weights)
 
 	c.nodeCfg = node.Config{
-		Params:            cfg.Params,
-		LedgerCfg:         cfg.LedgerCfg,
-		ChargeCrypto:      cfg.ChargeCrypto,
-		Fetch:             c.fetch,
-		RecoveryInterval:  cfg.RecoveryInterval,
-		ShardCount:        cfg.ShardCount,
-		PipelineFinalStep: cfg.PipelineFinalStep,
-		TxFlow:            cfg.TxFlow,
-		AnnounceCommits:   cfg.Gateways > 0,
+		Params:             cfg.Params,
+		LedgerCfg:          cfg.LedgerCfg,
+		ChargeCrypto:       cfg.ChargeCrypto,
+		Fetch:              c.fetch,
+		RecoveryInterval:   cfg.RecoveryInterval,
+		ShardCount:         cfg.ShardCount,
+		PipelineFinalStep:  cfg.PipelineFinalStep,
+		CheckpointInterval: cfg.CheckpointInterval,
+		TxFlow:             cfg.TxFlow,
+		AnnounceCommits:    cfg.Gateways > 0,
 	}
 	c.archives = make([]*diskstore.Store, cfg.N)
 	c.registries = make([]*metrics.Registry, cfg.N)
@@ -257,6 +269,10 @@ func NewCluster(cfg Config) *Cluster {
 		if gwCfg.Flow.Now == nil {
 			gwCfg.Flow.Now = c.Sim.Now
 		}
+		// The read model verifies certificates under the same protocol
+		// and ledger parameters the consensus nodes run.
+		gwCfg.Committee = node.CommitteeParamsFor(cfg.Params)
+		gwCfg.LedgerCfg = cfg.LedgerCfg
 		reg := metrics.NewRegistry()
 		gwCfg.Metrics = reg
 		gwCfg.Flow.Metrics = nil // New fills it with reg
@@ -379,12 +395,42 @@ func (c *Cluster) restartWith(i int, src *ledger.Store, archive *diskstore.Store
 	n := node.New(i, c.Sim, c.Net, c.Provider, c.ids[i], nodeCfg, c.Genesis, c.Seed0)
 	n.StopAfterRound = c.Cfg.Rounds
 	c.Nodes[i] = n
+	// Snapshot-first: when the recovered archive carries a state
+	// checkpoint, re-base onto it (after re-verifying its certificate
+	// and Merkle root — the disk is trusted no more than a peer) so the
+	// block replay below covers only the delta. A checkpoint failing
+	// verification is simply ignored: the ledger is untouched and the
+	// full genesis replay beneath remains the fallback.
+	if archive != nil {
+		if chk, ok := archive.Checkpoint(); ok {
+			n.RestoreFromCheckpoint(chk)
+		}
+	}
 	restored, err := n.RestoreFromArchive(src)
 	if err != nil {
 		return n, restored, err
 	}
 	n.StartAfterSync(syncBudget)
 	return n, restored, nil
+}
+
+// RestartNodeViaSnapshotSync replaces node i with a fresh diskless
+// replacement that rejoins snapshot-first: it fetches the newest state
+// checkpoint from peers, verifies certificate and Merkle root against
+// genesis-derived committee context, re-bases, and replays only the
+// delta through §8.3 catch-up — falling back transparently to full
+// genesis catch-up when no peer serves a usable snapshot.
+func (c *Cluster) RestartNodeViaSnapshotSync(i int, syncBudget time.Duration) *node.Node {
+	old := c.Nodes[i]
+	if !old.Halted() {
+		old.Halt()
+	}
+	nodeCfg := c.instrumentedNodeCfg(i)
+	n := node.New(i, c.Sim, c.Net, c.Provider, c.ids[i], nodeCfg, c.Genesis, c.Seed0)
+	n.StopAfterRound = c.Cfg.Rounds
+	c.Nodes[i] = n
+	n.StartAfterSnapshotSync(syncBudget)
+	return n
 }
 
 // fetch resolves a block hash from any node in the deployment,

@@ -65,6 +65,7 @@ func sampleBlock() *ledger.Block {
 		Round:          12,
 		PrevHash:       crypto.HashBytes("prev"),
 		Timestamp:      42 * time.Second,
+		StateRoot:      crypto.HashBytes("state"),
 		Seed:           crypto.HashBytes("seed"),
 		SeedProof:      bytes.Repeat([]byte{4}, 80),
 		Proposer:       crypto.PublicKey{11},
@@ -91,6 +92,18 @@ func sampleBlockMsg() blockprop.BlockMsg {
 	return blockprop.BlockMsg{Block: sampleBlock(), Announce: samplePriority()}
 }
 
+func sampleCheckpoint() *ledger.Checkpoint {
+	bal := &ledger.Balances{
+		Money: map[crypto.PublicKey]uint64{
+			{1}: 100,
+			{2}: 250,
+			{3}: 7,
+		},
+		Nonce: map[crypto.PublicKey]uint64{{2}: 4},
+	}
+	return ledger.CheckpointOf(sampleBlock(), sampleCert(), bal)
+}
+
 // sizedMarshaler is what every wire-encodable value in the table
 // satisfies: codec plus a WireSize that must match it.
 type sizedMarshaler interface {
@@ -105,7 +118,7 @@ func TestUniversalRoundTrip(t *testing.T) {
 	unsignedTx.Sig = nil
 	vote := sampleVote()
 	pri := samplePriority()
-	emptyBlock := ledger.EmptyBlock(3, crypto.HashBytes("h"), crypto.HashBytes("s"))
+	emptyBlock := ledger.EmptyBlock(3, crypto.HashBytes("h"), crypto.HashBytes("s"), crypto.HashBytes("root"))
 	bmsg := sampleBlockMsg()
 
 	cases := []struct {
@@ -122,6 +135,7 @@ func TestUniversalRoundTrip(t *testing.T) {
 		{"Block/empty", emptyBlock, func() sizedMarshaler { return new(ledger.Block) }},
 		{"PriorityMsg", &pri, func() sizedMarshaler { return new(blockprop.PriorityMsg) }},
 		{"BlockMsg", &bmsg, func() sizedMarshaler { return new(blockprop.BlockMsg) }},
+		{"Checkpoint", sampleCheckpoint(), func() sizedMarshaler { return new(ledger.Checkpoint) }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -161,6 +175,8 @@ func gossipMessages() []network.Message {
 			Nonce:     98,
 		},
 		&node.CommitAnnounce{Round: 12, Hash: crypto.HashBytes("c"), Announcer: 7},
+		&node.SnapshotRequest{MinRound: 40, Requester: 6, Nonce: 97},
+		&node.SnapshotReply{Checkpoint: sampleCheckpoint(), Recipient: 6, Nonce: 97},
 	}
 }
 
